@@ -1,0 +1,70 @@
+// Ablation: the differentiable relaxation inside Algorithm 2. Compares the
+// paper-literal composition (scalar soft argmin of Eq. 5 pushed through the
+// indicator of Eq. 7) against the direct softmax-weights relaxation this
+// implementation defaults to (see core::GateRelaxation), across K and bias
+// levels.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/gate.hpp"
+#include "core/gate_trainer.hpp"
+
+namespace teamnet::bench {
+namespace {
+
+Tensor biased_entropy(int n, int k, int bias_pct, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor h({n, k});
+  for (int r = 0; r < n; ++r) {
+    const int winner = (r * 100 < n * bias_pct) ? 0 : 1 + rng.randint(0, k - 2);
+    for (int i = 0; i < k; ++i) {
+      h[r * k + i] =
+          (i == winner) ? rng.uniform(0.05f, 0.4f) : rng.uniform(0.7f, 1.6f);
+    }
+  }
+  return h;
+}
+
+int main_impl(int argc, char** argv) {
+  Options opts = parse_options(argc, argv);
+  (void)opts;
+  print_banner("Ablation — gate relaxation (Eq.5+7 composition vs softmax"
+               " weights)",
+               "implementation note in DESIGN.md §2");
+
+  Table table({"K", "bias %", "relaxation", "final J", "gate iters (4 calls)"});
+  for (int k : {2, 3, 4}) {
+    for (int bias : {70, 85}) {
+      for (auto relax : {core::GateRelaxation::IndexExpectation,
+                         core::GateRelaxation::SoftmaxWeights}) {
+        core::GateTrainerConfig cfg;
+        cfg.relaxation = relax;
+        core::GateTrainer trainer(k, cfg, Rng(81));
+        Tensor h = biased_entropy(128, k, bias, 91);
+        core::GateDecision d;
+        int total_iters = 0;
+        for (int call = 0; call < 4; ++call) {
+          d = trainer.decide(h);
+          total_iters += d.iterations;
+        }
+        table.add_row(
+            {std::to_string(k), std::to_string(bias),
+             relax == core::GateRelaxation::IndexExpectation ? "index-expect"
+                                                             : "softmax-wts",
+             Table::num(d.objective, 3), std::to_string(total_iters)});
+      }
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: both relaxations solve K=2; the paper-literal\n"
+              "index expectation degrades for K>=3 (a row split between\n"
+              "experts 0 and 2 credits expert 1), while softmax weights\n"
+              "converge with fewer iterations everywhere.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace teamnet::bench
+
+int main(int argc, char** argv) { return teamnet::bench::main_impl(argc, argv); }

@@ -1,0 +1,42 @@
+// Ablation: inference selection rule. §V argues the argmin-entropy gate
+// beats (weighted) majority voting because "non-expert" opinions are
+// detrimental once experts specialize. Compares both rules on MNIST teams.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/teamnet.hpp"
+
+namespace teamnet::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  Options opts = parse_options(argc, argv);
+  print_banner("Ablation — selection rule (argmin entropy vs majority vote)",
+               "§V discussion");
+
+  MnistSetup setup = mnist_setup(opts);
+  Table table({"team", "argmin-entropy acc (%)", "majority-vote acc (%)"});
+  for (int k : {2, 4}) {
+    TrainedTeam team = train_mnist_teamnet(setup, k, opts);
+    core::TeamNetEnsemble ensemble(std::move(team.experts));
+    const double argmin_acc = 100.0 * ensemble.evaluate_accuracy(
+                                          setup.test,
+                                          core::SelectionRule::ArgMinEntropy);
+    const double vote_acc = 100.0 * ensemble.evaluate_accuracy(
+                                        setup.test,
+                                        core::SelectionRule::MajorityVote);
+    table.add_row({std::to_string(k) + " experts", Table::num(argmin_acc, 1),
+                   Table::num(vote_acc, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: argmin-entropy >= majority vote — specialized\n"
+              "experts are wrong outside their partition, so counting their\n"
+              "votes hurts.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace teamnet::bench
+
+int main(int argc, char** argv) { return teamnet::bench::main_impl(argc, argv); }

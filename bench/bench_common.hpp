@@ -1,0 +1,112 @@
+// Shared infrastructure for the paper-reproduction benches: dataset +
+// architecture setups matching §VI, cached model training (weights and gate
+// telemetry are stored under ./bench_cache so the table and figure benches
+// that share models train them only once), and table printing in the
+// paper's row layout with the paper's reported numbers alongside.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/teamnet.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "moe/sg_moe.hpp"
+#include "nn/mlp.hpp"
+#include "nn/shake_shake.hpp"
+#include "sim/scenario.hpp"
+
+namespace teamnet::bench {
+
+struct Options {
+  bool quick = false;  ///< --quick: smaller data/epochs for smoke runs
+  std::string cache_dir = "bench_cache";
+};
+
+Options parse_options(int argc, char** argv);
+
+/// Prints the standard bench banner (what is being reproduced + caveats).
+void print_banner(const std::string& experiment, const std::string& paper_ref);
+
+// ---- MNIST (handwritten digit recognition, §VI-C) --------------------------
+
+struct MnistSetup {
+  data::Dataset train;
+  data::Dataset test;
+  nn::MlpConfig mlp8;  ///< baseline
+  nn::MlpConfig mlp4;  ///< TeamNet double-node expert
+  nn::MlpConfig mlp2;  ///< TeamNet quadro-node expert
+};
+
+MnistSetup mnist_setup(const Options& opts);
+
+/// Expert config for K experts (paper: 2 -> MLP-4, 4 -> MLP-2).
+const nn::MlpConfig& mnist_expert_cfg(const MnistSetup& setup, int num_experts);
+
+// ---- CIFAR (image classification, §VI-D) ------------------------------------
+
+struct CifarSetup {
+  data::Dataset train;
+  data::Dataset test;
+  nn::ShakeShakeConfig ss26;  ///< baseline
+  nn::ShakeShakeConfig ss14;  ///< TeamNet double-node expert
+  nn::ShakeShakeConfig ss8;   ///< TeamNet quadro-node expert
+};
+
+CifarSetup cifar_setup(const Options& opts);
+
+const nn::ShakeShakeConfig& cifar_expert_cfg(const CifarSetup& setup,
+                                             int num_experts);
+
+// ---- cached training --------------------------------------------------------
+
+/// Trained TeamNet experts plus the gate telemetry from training (telemetry
+/// is cached alongside the weights so convergence figures reload instantly).
+struct TrainedTeam {
+  std::vector<nn::ModulePtr> experts;
+  core::ConvergenceTelemetry telemetry;
+
+  std::vector<nn::Module*> expert_ptrs() const {
+    std::vector<nn::Module*> ptrs;
+    for (const auto& e : experts) ptrs.push_back(e.get());
+    return ptrs;
+  }
+};
+
+std::unique_ptr<nn::MlpNet> train_mnist_baseline(const MnistSetup& setup,
+                                                 const Options& opts);
+TrainedTeam train_mnist_teamnet(const MnistSetup& setup, int num_experts,
+                                const Options& opts,
+                                core::GateKind gate = core::GateKind::Learned);
+std::unique_ptr<moe::SgMoe> train_mnist_sgmoe(const MnistSetup& setup,
+                                              int num_experts,
+                                              const Options& opts);
+
+std::unique_ptr<nn::ShakeShakeNet> train_cifar_baseline(const CifarSetup& setup,
+                                                        const Options& opts);
+TrainedTeam train_cifar_teamnet(const CifarSetup& setup, int num_experts,
+                                const Options& opts);
+std::unique_ptr<moe::SgMoe> train_cifar_sgmoe(const CifarSetup& setup,
+                                              int num_experts,
+                                              const Options& opts);
+
+// ---- paper-style tables ------------------------------------------------------
+
+/// One table column: a measured scenario result + the paper's numbers for
+/// the same cell (NaN = paper did not report it).
+struct PaperColumn {
+  std::string header;
+  sim::ScenarioResult measured;
+  double paper_latency_ms = -1.0;
+  double paper_accuracy_pct = -1.0;
+};
+
+/// Prints the paper's metric-rows-by-approach-columns layout, with a second
+/// block showing the paper's reported values for direct comparison.
+void print_comparison_table(const std::string& title,
+                            const std::vector<PaperColumn>& columns,
+                            bool show_gpu_row);
+
+}  // namespace teamnet::bench

@@ -1,0 +1,61 @@
+// Reproduces Figure 8: convergence of per-expert data proportions on CIFAR.
+// (a) K=2 drifts early (both experts know little, uncertainty judgments are
+// noisy) then converges to 0.5; (b) K=4 converges to 0.25, later than K=2.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace teamnet::bench {
+namespace {
+
+void print_series(const core::ConvergenceTelemetry& tel, int k) {
+  const float set_point = 1.0f / static_cast<float>(k);
+  std::printf("\n(%c) %d experts — smoothed gamma per expert (set point %.2f)\n",
+              k == 2 ? 'a' : 'b', k, set_point);
+  std::printf("%10s", "iteration");
+  for (int i = 0; i < k; ++i) std::printf("  expert%-3d", i + 1);
+  std::printf("  max|dev|\n");
+  const std::size_t total = tel.iterations();
+  const std::size_t window = std::max<std::size_t>(1, total / 20);
+  const std::size_t step = std::max<std::size_t>(1, total / 16);
+  for (std::size_t t = step - 1; t < total; t += step) {
+    auto gamma = tel.smoothed_gamma(t, window);
+    std::printf("%10zu", t + 1);
+    float dev = 0.0f;
+    for (float g : gamma) {
+      std::printf("  %8.3f", g);
+      dev = std::max(dev, std::abs(g - set_point));
+    }
+    std::printf("  %7.3f\n", dev);
+  }
+}
+
+int main_impl(int argc, char** argv) {
+  Options opts = parse_options(argc, argv);
+  print_banner("Figure 8 — gate convergence on CIFAR", "Figure 8(a), 8(b)");
+
+  CifarSetup setup = cifar_setup(opts);
+  auto team2 = train_cifar_teamnet(setup, 2, opts);
+  auto team4 = train_cifar_teamnet(setup, 4, opts);
+
+  print_series(team2.telemetry, 2);
+  print_series(team4.telemetry, 4);
+
+  const int c2 = team2.telemetry.iterations_to_converge(0.15f, 5);
+  const int c4 = team4.telemetry.iterations_to_converge(0.15f, 5);
+  std::printf("\nconvergence iteration (|gamma - 1/K| < 0.15 for 5 iters): "
+              "K=2 -> %d, K=4 -> %d\n", c2, c4);
+  // At this reduced dataset scale (1.4k samples vs the paper's 50k) both
+  // runs converge within the first epoch, so K=2/K=4 can land within a few
+  // iterations of each other; require only that K=4 is not decisively
+  // faster.
+  std::printf("shape check (paper: K=4 converges later, ~32k iters at full "
+              "scale; near-ties expected at 25x reduced scale): %s\n",
+              (c2 >= 0 && (c4 < 0 || c4 + 10 >= c2)) ? "OK" : "MISMATCH");
+  return 0;
+}
+
+}  // namespace
+}  // namespace teamnet::bench
+
+int main(int argc, char** argv) { return teamnet::bench::main_impl(argc, argv); }

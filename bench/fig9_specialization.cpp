@@ -1,0 +1,93 @@
+// Reproduces Figure 9: which expert is most certain of which class.
+// (a) With two experts, one specializes in machines (airplane, automobile,
+// ship, truck) and the other in animals. (b) With four experts, pairs of
+// experts sub-divide the two super-clusters.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/entropy.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::bench {
+namespace {
+
+/// Rows: classes (machines first); columns: experts; cell = fraction of the
+/// class's test samples for which that expert has the least entropy.
+void print_specialization(const CifarSetup& setup, const TrainedTeam& team,
+                          int k) {
+  Tensor entropy =
+      core::entropy_matrix(team.expert_ptrs(), setup.test.images);
+  const auto winner = ops::argmin_rows(entropy);
+
+  std::vector<std::vector<int>> wins(10, std::vector<int>(static_cast<std::size_t>(k), 0));
+  std::vector<int> totals(10, 0);
+  for (std::int64_t r = 0; r < setup.test.size(); ++r) {
+    const int cls = setup.test.labels[static_cast<std::size_t>(r)];
+    ++wins[static_cast<std::size_t>(cls)]
+          [static_cast<std::size_t>(winner[static_cast<std::size_t>(r)])];
+    ++totals[static_cast<std::size_t>(cls)];
+  }
+
+  std::printf("\n(%c) %d experts — per-class share of 'most certain' wins\n",
+              k == 2 ? 'a' : 'b', k);
+  std::printf("%-14s %-9s", "class", "group");
+  for (int i = 0; i < k; ++i) std::printf("  expert%-3d", i + 1);
+  std::printf("\n");
+
+  // Machines first (paper groups them), then animals.
+  std::vector<int> order = {0, 1, 8, 9, 2, 3, 4, 5, 6, 7};
+  std::vector<double> machine_share(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> animal_share(static_cast<std::size_t>(k), 0.0);
+  for (int cls : order) {
+    const bool machine = data::is_machine_class(cls);
+    std::printf("%-14s %-9s", data::cifar_class_name(cls).c_str(),
+                machine ? "machine" : "animal");
+    for (int i = 0; i < k; ++i) {
+      const double share =
+          static_cast<double>(wins[static_cast<std::size_t>(cls)]
+                                  [static_cast<std::size_t>(i)]) /
+          std::max(1, totals[static_cast<std::size_t>(cls)]);
+      std::printf("  %8.2f", share);
+      (machine ? machine_share : animal_share)[static_cast<std::size_t>(i)] +=
+          share / (machine ? 4.0 : 6.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-14s %-9s", "SUPER-CLUSTER", "machines");
+  for (double s : machine_share) std::printf("  %8.2f", s);
+  std::printf("\n%-14s %-9s", "SUPER-CLUSTER", "animals");
+  for (double s : animal_share) std::printf("  %8.2f", s);
+  std::printf("\n");
+
+  // Shape check: the expert that dominates machines should NOT be the one
+  // that dominates animals.
+  const auto argmax = [](const std::vector<double>& v) {
+    return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+  };
+  const int machine_expert = argmax(machine_share);
+  const int animal_expert = argmax(animal_share);
+  std::printf("shape check (distinct specialists per super-cluster): %s "
+              "(machines -> expert %d, animals -> expert %d)\n",
+              machine_expert != animal_expert ? "OK" : "MISMATCH",
+              machine_expert + 1, animal_expert + 1);
+}
+
+int main_impl(int argc, char** argv) {
+  Options opts = parse_options(argc, argv);
+  print_banner("Figure 9 — expert specialization on CIFAR",
+               "Figure 9(a), 9(b)");
+
+  CifarSetup setup = cifar_setup(opts);
+  auto team2 = train_cifar_teamnet(setup, 2, opts);
+  auto team4 = train_cifar_teamnet(setup, 4, opts);
+
+  print_specialization(setup, team2, 2);
+  print_specialization(setup, team4, 4);
+  return 0;
+}
+
+}  // namespace
+}  // namespace teamnet::bench
+
+int main(int argc, char** argv) { return teamnet::bench::main_impl(argc, argv); }

@@ -1,0 +1,89 @@
+// Microbenchmarks for the TeamNet gate path: entropy-matrix probing, one
+// Algorithm-2 decision, the soft relaxations, and an end-to-end training
+// step — the per-batch training overhead TeamNet adds over plain SGD.
+#include <benchmark/benchmark.h>
+
+#include "core/entropy.hpp"
+#include "core/expert_trainer.hpp"
+#include "core/gate_trainer.hpp"
+#include "core/soft_ops.hpp"
+#include "nn/mlp.hpp"
+
+namespace teamnet {
+namespace {
+
+Tensor biased_entropy(int n, int k, Rng& rng) {
+  Tensor h({n, k});
+  for (int r = 0; r < n; ++r) {
+    const int winner = rng.randint(0, k - 1);
+    for (int i = 0; i < k; ++i) {
+      h[r * k + i] =
+          (i == winner) ? rng.uniform(0.05f, 0.4f) : rng.uniform(0.7f, 1.6f);
+    }
+  }
+  return h;
+}
+
+void BM_GateDecide(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::GateTrainer trainer(k, {}, Rng(7));
+  Rng rng(8);
+  for (auto _ : state) {
+    Tensor h = biased_entropy(64, k, rng);
+    auto d = trainer.decide(h);
+    benchmark::DoNotOptimize(d.assignment.data());
+  }
+}
+BENCHMARK(BM_GateDecide)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SoftArgmin(benchmark::State& state) {
+  Rng rng(9);
+  Tensor scores = Tensor::uniform({state.range(0), 4}, rng, 0.1f, 2.0f);
+  for (auto _ : state) {
+    ag::Var g = core::soft_argmin_rows(ag::constant(scores.clone()), 8.0f);
+    benchmark::DoNotOptimize(g.node().get());
+  }
+}
+BENCHMARK(BM_SoftArgmin)->Arg(64)->Arg(512);
+
+void BM_EntropyMatrix(benchmark::State& state) {
+  Rng rng(10);
+  nn::MlpConfig cfg;
+  cfg.in_features = 784;
+  cfg.depth = 4;
+  cfg.hidden = 64;
+  nn::MlpNet e0(cfg, rng), e1(cfg, rng);
+  Tensor x = Tensor::uniform({state.range(0), 784}, rng);
+  for (auto _ : state) {
+    Tensor h = core::entropy_matrix({&e0, &e1}, x);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_EntropyMatrix)->Arg(16)->Arg(64);
+
+void BM_ExpertTrainStep(benchmark::State& state) {
+  Rng rng(11);
+  nn::MlpConfig cfg;
+  cfg.in_features = 784;
+  cfg.depth = 4;
+  cfg.hidden = 64;
+  nn::MlpNet e0(cfg, rng), e1(cfg, rng);
+  core::ExpertTrainer trainer({&e0, &e1}, {});
+  Rng drng(12);
+  Tensor x = Tensor::uniform({64, 784}, drng);
+  std::vector<int> y(64), assign(64);
+  for (int i = 0; i < 64; ++i) {
+    y[static_cast<std::size_t>(i)] = drng.randint(0, 9);
+    assign[static_cast<std::size_t>(i)] = drng.randint(0, 1);
+  }
+  for (auto _ : state) {
+    auto losses = trainer.train_on_batch(x, y, assign);
+    benchmark::DoNotOptimize(losses.data());
+  }
+}
+BENCHMARK(BM_ExpertTrainStep);
+
+}  // namespace
+}  // namespace teamnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Microbenchmarks for the tensor substrate: GEMM variants, convolution
+// lowering, softmax/entropy kernels — the primitives whose FLOP counts feed
+// the edge-latency model.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/entropy.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedVariants(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_tn_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    gemm_nt_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n * n);
+}
+BENCHMARK(BM_GemmTransposedVariants)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn({8, 8, s, s}, rng);
+  for (auto _ : state) {
+    Tensor cols = im2col(x, 3, 1, 1);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({state.range(0), 10}, rng);
+  for (auto _ : state) {
+    Tensor p = ops::softmax_rows(logits);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(1024);
+
+void BM_PredictiveEntropy(benchmark::State& state) {
+  Rng rng(5);
+  Tensor probs = ops::softmax_rows(Tensor::randn({state.range(0), 10}, rng));
+  for (auto _ : state) {
+    Tensor h = core::predictive_entropy(probs);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_PredictiveEntropy)->Arg(64)->Arg(1024);
+
+void BM_BroadcastMul(benchmark::State& state) {
+  Rng rng(6);
+  Tensor big = Tensor::randn({state.range(0), 64}, rng);
+  Tensor row = Tensor::randn({1, 64}, rng);
+  for (auto _ : state) {
+    Tensor out = ops::mul(big, row);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BroadcastMul)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace teamnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Edge-fleet what-if: should a fleet of battery-powered smart cameras run
+// one big model per device, or form a TeamNet federation? This example
+// sizes the decision with the virtual-time simulator across device classes
+// (Raspberry Pi, Jetson CPU, Jetson GPU) — the scenario the paper's
+// introduction motivates.
+//
+//   ./build/examples/edge_fleet_sim
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/teamnet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/mlp.hpp"
+#include "sim/scenario.hpp"
+
+using namespace teamnet;
+
+int main() {
+  data::MnistConfig data_cfg;
+  data_cfg.num_samples = 1500;
+  data::Dataset dataset = data::make_synthetic_mnist(data_cfg);
+  auto [test, train] = dataset.split(0.2);
+
+  // Realistic widths so the compute/WiFi trade-off is visible; training is
+  // kept short — the latency verdict depends only on the architectures.
+  Rng rng(7);
+  nn::MlpConfig big;
+  big.depth = 8;
+  big.hidden = 512;
+  nn::MlpNet baseline(big, rng);
+  baseline.set_training(false);
+
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 3;
+  core::TeamNetTrainer trainer(cfg, [](int, Rng& r) -> nn::ModulePtr {
+    nn::MlpConfig mlp;
+    mlp.depth = 4;
+    mlp.hidden = 512;
+    return std::make_unique<nn::MlpNet>(mlp, r);
+  });
+  std::printf("training a 2-expert team (this sizes accuracy only)...\n");
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  std::vector<nn::Module*> experts = {&ensemble.expert(0), &ensemble.expert(1)};
+
+  Table table({"device", "baseline ms", "teamnet ms", "verdict",
+               "teamnet CPU%", "baseline CPU%"});
+  for (const auto& device : {sim::raspberry_pi_3b(), sim::jetson_tx2_cpu(),
+                             sim::jetson_tx2_gpu()}) {
+    sim::ScenarioConfig scenario;
+    scenario.device = device;
+    scenario.link = sim::socket_link();
+    scenario.num_queries = 30;
+    auto base = sim::run_baseline(baseline, test, scenario);
+    auto team = sim::run_teamnet(experts, test, scenario);
+    table.add_row({device.name, Table::num(base.latency_ms, 2),
+                   Table::num(team.latency_ms, 2),
+                   team.latency_ms < base.latency_ms ? "federate" : "go solo",
+                   Table::num(team.usage.cpu_pct, 1),
+                   Table::num(base.usage.cpu_pct, 1)});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  std::printf("\nreading: on compute-bound devices the federation pays one\n"
+              "WiFi round trip to halve per-node compute — a win. On a GPU\n"
+              "the same round trip dwarfs the model's run time, so a single\n"
+              "node is faster (the paper's Table I(b) observation).\n");
+  std::printf("\nTeamNet test accuracy: %.1f%%\n",
+              100.0 * ensemble.evaluate_accuracy(test));
+  return 0;
+}

@@ -1,0 +1,209 @@
+// edge_node — a deployable TeamNet node. The same binary runs as:
+//
+//   trainer : train K experts on the synthetic dataset and write
+//             checkpoints that workers/masters can load
+//   worker  : serve one expert over TCP
+//   master  : coordinate collaborative inference across workers and
+//             evaluate on the test set
+//
+// A complete three-terminal session (here runnable against localhost):
+//
+//   ./edge_node train  --experts 2 --out /tmp/team            # once
+//   ./edge_node worker --listen 7001 --weights /tmp/team/expert1.tnet
+//   ./edge_node master --workers 127.0.0.1:7001 \
+//                      --weights /tmp/team/expert0.tnet
+//
+// The demo subcommand runs all three roles in one process:
+//
+//   ./edge_node demo
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/teamnet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "net/collab.hpp"
+#include "net/tcp.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+
+using namespace teamnet;
+
+namespace {
+
+constexpr int kDepth = 4;
+constexpr int kHidden = 64;
+
+nn::MlpConfig expert_config() {
+  nn::MlpConfig cfg;
+  cfg.depth = kDepth;
+  cfg.hidden = kHidden;
+  return cfg;
+}
+
+data::Dataset test_set() {
+  data::MnistConfig cfg;
+  cfg.num_samples = 600;
+  cfg.seed = 77;  // disjoint from the training seed below
+  return data::make_synthetic_mnist(cfg);
+}
+
+int cmd_train(int experts, const std::string& out_dir) {
+  data::MnistConfig data_cfg;
+  data_cfg.num_samples = 2000;
+  data::Dataset train = data::make_synthetic_mnist(data_cfg);
+
+  core::TeamNetConfig cfg;
+  cfg.num_experts = experts;
+  cfg.epochs = 5;
+  core::TeamNetTrainer trainer(cfg, [](int, Rng& rng) -> nn::ModulePtr {
+    return std::make_unique<nn::MlpNet>(expert_config(), rng);
+  });
+  std::printf("training %d experts...\n", experts);
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  for (int i = 0; i < experts; ++i) {
+    const std::string path = out_dir + "/expert" + std::to_string(i) + ".tnet";
+    nn::save_module(path, ensemble.expert(i));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("ensemble accuracy on a fresh test draw: %.1f%%\n",
+              100.0 * ensemble.evaluate_accuracy(test_set()));
+  return 0;
+}
+
+int cmd_worker(std::uint16_t port, const std::string& weights) {
+  Rng rng(1);
+  nn::MlpNet expert(expert_config(), rng);
+  nn::load_module(weights, expert);
+  net::TcpListener listener(port);
+  std::printf("worker: serving %s on 127.0.0.1:%u\n", weights.c_str(),
+              listener.port());
+  auto channel = listener.accept();
+  net::CollaborativeWorker worker(expert, *channel);
+  worker.serve();
+  std::printf("worker: shutdown after %lld requests\n",
+              static_cast<long long>(worker.requests_served()));
+  return 0;
+}
+
+int cmd_master(const std::vector<std::string>& workers,
+               const std::string& weights) {
+  Rng rng(2);
+  nn::MlpNet expert(expert_config(), rng);
+  nn::load_module(weights, expert);
+
+  std::vector<net::ChannelPtr> channels;
+  std::vector<net::Channel*> ptrs;
+  for (const auto& address : workers) {
+    const auto colon = address.find(':');
+    TEAMNET_CHECK_MSG(colon != std::string::npos, "worker must be host:port");
+    channels.push_back(net::tcp_connect(
+        address.substr(0, colon),
+        static_cast<std::uint16_t>(std::stoi(address.substr(colon + 1)))));
+    ptrs.push_back(channels.back().get());
+    std::printf("master: connected to %s\n", address.c_str());
+  }
+
+  net::CollaborativeMaster master(expert, ptrs);
+  data::Dataset test = test_set();
+  std::size_t correct = 0;
+  for (std::int64_t r = 0; r < test.size(); ++r) {
+    Tensor query({1, test.images.dim(1)});
+    std::copy(test.images.data() + r * test.images.dim(1),
+              test.images.data() + (r + 1) * test.images.dim(1), query.data());
+    auto result = master.infer(query);
+    if (result.predictions[0] == test.labels[static_cast<std::size_t>(r)]) {
+      ++correct;
+    }
+  }
+  std::printf("master: collaborative accuracy over %lld queries: %.1f%%\n",
+              static_cast<long long>(test.size()),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(test.size()));
+  master.shutdown();
+  return 0;
+}
+
+int cmd_demo() {
+  const std::string dir = "/tmp/teamnet_edge_demo";
+  std::filesystem::create_directories(dir);
+  if (cmd_train(2, dir) != 0) return 1;
+
+  net::TcpListener listener(0);
+  const std::uint16_t port = listener.port();
+  std::thread worker([&listener, dir] {
+    Rng rng(1);
+    nn::MlpNet expert(expert_config(), rng);
+    nn::load_module(dir + "/expert1.tnet", expert);
+    auto channel = listener.accept();
+    net::CollaborativeWorker w(expert, *channel);
+    w.serve();
+  });
+  const int rc =
+      cmd_master({"127.0.0.1:" + std::to_string(port)}, dir + "/expert0.tnet");
+  worker.join();
+  return rc;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  edge_node train  --experts K --out DIR\n"
+               "  edge_node worker --listen PORT --weights FILE\n"
+               "  edge_node master --workers host:port[,host:port...] "
+               "--weights FILE\n"
+               "  edge_node demo\n");
+}
+
+std::string flag_value(int argc, char** argv, const std::string& flag,
+                       const std::string& fallback = "") {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "train") {
+      const std::string out = flag_value(argc, argv, "--out", ".");
+      std::filesystem::create_directories(out);
+      return cmd_train(std::stoi(flag_value(argc, argv, "--experts", "2")), out);
+    }
+    if (command == "worker") {
+      return cmd_worker(
+          static_cast<std::uint16_t>(
+              std::stoi(flag_value(argc, argv, "--listen", "0"))),
+          flag_value(argc, argv, "--weights"));
+    }
+    if (command == "master") {
+      std::vector<std::string> workers;
+      std::string list = flag_value(argc, argv, "--workers");
+      std::size_t pos = 0;
+      while (pos != std::string::npos && !list.empty()) {
+        const std::size_t comma = list.find(',', pos);
+        workers.push_back(list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+      TEAMNET_CHECK_MSG(!workers.empty(), "--workers required");
+      return cmd_master(workers, flag_value(argc, argv, "--weights"));
+    }
+    if (command == "demo") return cmd_demo();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,97 @@
+// Specialization explorer: trains a 2-expert TeamNet on the synthetic
+// CIFAR dataset and visualizes who-knows-what — the per-class "most
+// certain expert" map of the paper's Figure 9, plus ASCII renderings of
+// sample images so the dataset's machine/animal structure is visible.
+//
+//   ./build/examples/specialization_explorer
+#include <cstdio>
+
+#include "core/entropy.hpp"
+#include "core/teamnet.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "nn/shake_shake.hpp"
+#include "tensor/ops.hpp"
+
+using namespace teamnet;
+
+namespace {
+
+/// Coarse ASCII rendering of a [3,S,S] image (luminance ramp).
+void render_ascii(const Tensor& image) {
+  const char* ramp = " .:-=+*#%@";
+  const std::int64_t s = image.dim(1);
+  for (std::int64_t y = 0; y < s; ++y) {
+    for (std::int64_t x = 0; x < s; ++x) {
+      const float lum = 0.30f * image.at(0, y, x) + 0.59f * image.at(1, y, x) +
+                        0.11f * image.at(2, y, x);
+      const int idx = std::min(9, static_cast<int>(lum * 10.0f));
+      std::printf("%c%c", ramp[idx], ramp[idx]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  data::CifarConfig data_cfg;
+  data_cfg.num_samples = 1000;
+  data_cfg.image_size = 16;
+  data::Dataset dataset = data::make_synthetic_cifar(data_cfg);
+  auto [test, train] = dataset.split(0.25);
+
+  std::printf("two sample images from the synthetic CIFAR stand-in:\n\n");
+  for (std::int64_t i = 0; i < test.size() && i < 200; ++i) {
+    const int cls = test.labels[static_cast<std::size_t>(i)];
+    if (cls == 9 || cls == 3) {  // one machine (truck), one animal (cat)
+      std::printf("class: %s (%s)\n", data::cifar_class_name(cls).c_str(),
+                  data::is_machine_class(cls) ? "machine" : "animal");
+      render_ascii(ops::take_rows(test.images, {static_cast<int>(i)})
+                       .reshape({3, data_cfg.image_size, data_cfg.image_size}));
+      std::printf("\n");
+      if (cls == 9) break;
+    }
+  }
+
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 3;
+  cfg.batch_size = 32;
+  cfg.sgd.lr = 0.03f;
+  core::TeamNetTrainer trainer(cfg, [&](int, Rng& rng) -> nn::ModulePtr {
+    nn::ShakeShakeConfig ss;
+    ss.depth = 8;
+    ss.base_channels = 6;
+    ss.image_size = data_cfg.image_size;
+    return std::make_unique<nn::ShakeShakeNet>(ss, rng);
+  });
+  std::printf("training 2 Shake-Shake experts (a few minutes of CPU)...\n");
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  std::printf("ensemble accuracy: %.1f%%\n\n",
+              100.0 * ensemble.evaluate_accuracy(test));
+
+  // Figure-9-style map: which expert is least uncertain per class?
+  auto result = ensemble.infer(test.images);
+  std::vector<std::array<int, 2>> wins(10, {0, 0});
+  std::vector<int> totals(10, 0);
+  for (std::int64_t r = 0; r < test.size(); ++r) {
+    const int cls = test.labels[static_cast<std::size_t>(r)];
+    ++wins[static_cast<std::size_t>(cls)]
+          [static_cast<std::size_t>(result.chosen[static_cast<std::size_t>(r)])];
+    ++totals[static_cast<std::size_t>(cls)];
+  }
+  std::printf("%-12s %-8s %-9s %-9s\n", "class", "group", "expert 1",
+              "expert 2");
+  for (int cls : {0, 1, 8, 9, 2, 3, 4, 5, 6, 7}) {
+    const double w0 = static_cast<double>(wins[static_cast<std::size_t>(cls)][0]) /
+                      std::max(1, totals[static_cast<std::size_t>(cls)]);
+    std::printf("%-12s %-8s %8.0f%% %8.0f%%\n",
+                data::cifar_class_name(cls).c_str(),
+                data::is_machine_class(cls) ? "machine" : "animal", 100.0 * w0,
+                100.0 * (1.0 - w0));
+  }
+  std::printf("\nexpect one expert to dominate the machine rows and the other\n"
+              "the animal rows — knowledge partitioned along the dataset's\n"
+              "semantic super-clusters, with no explicit labels for them.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Error handling primitives shared by every TeamNet module.
+//
+// All recoverable failures are reported through the `teamnet::Error`
+// exception hierarchy; invariant violations use the TEAMNET_CHECK family of
+// macros which throw `teamnet::InvariantError` with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace teamnet {
+
+/// Base class for all exceptions thrown by the TeamNet libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a TEAMNET_CHECK* invariant fails.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed user input (bad shapes, bad configuration values).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by the networking layer (socket failures, protocol violations).
+class NetworkError : public Error {
+ public:
+  explicit NetworkError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by (de)serialization when a stream is malformed or truncated.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace teamnet
+
+/// Throws teamnet::InvariantError when `cond` does not hold.
+#define TEAMNET_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::teamnet::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Like TEAMNET_CHECK but appends a streamed message, e.g.
+///   TEAMNET_CHECK_MSG(k > 0, "num_experts=" << k);
+#define TEAMNET_CHECK_MSG(cond, stream_expr)                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream teamnet_check_os_;                               \
+      teamnet_check_os_ << stream_expr;                                   \
+      ::teamnet::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                             teamnet_check_os_.str());    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace teamnet::log {
+
+std::atomic<Level>& threshold() {
+  static std::atomic<Level> level{Level::Warn};
+  return level;
+}
+
+void set_level(Level level) { threshold().store(level, std::memory_order_relaxed); }
+
+bool enabled(Level level) {
+  return static_cast<int>(level) >=
+         static_cast<int>(threshold().load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+namespace {
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+void emit(Level level, const std::string& message) {
+  using clock = std::chrono::steady_clock;
+  static const auto start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fprintf(stderr, "[%8.3fs %s] %s\n", elapsed, level_tag(level),
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace teamnet::log

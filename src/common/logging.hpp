@@ -1,0 +1,41 @@
+// Minimal leveled logger. Output goes to stderr so bench tables on stdout
+// stay machine-parsable. Level is a process-wide atomic; default Warn keeps
+// tests quiet, benches raise it to Info for progress reporting.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace teamnet::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the mutable process-wide minimum level.
+std::atomic<Level>& threshold();
+
+/// Sets the process-wide minimum level.
+void set_level(Level level);
+
+/// True when messages at `level` are currently emitted.
+bool enabled(Level level);
+
+namespace detail {
+void emit(Level level, const std::string& message);
+}  // namespace detail
+
+}  // namespace teamnet::log
+
+#define TEAMNET_LOG(level, stream_expr)                                   \
+  do {                                                                    \
+    if (::teamnet::log::enabled(level)) {                                 \
+      std::ostringstream teamnet_log_os_;                                 \
+      teamnet_log_os_ << stream_expr;                                     \
+      ::teamnet::log::detail::emit(level, teamnet_log_os_.str());         \
+    }                                                                     \
+  } while (false)
+
+#define LOG_DEBUG(stream_expr) TEAMNET_LOG(::teamnet::log::Level::Debug, stream_expr)
+#define LOG_INFO(stream_expr) TEAMNET_LOG(::teamnet::log::Level::Info, stream_expr)
+#define LOG_WARN(stream_expr) TEAMNET_LOG(::teamnet::log::Level::Warn, stream_expr)
+#define LOG_ERROR(stream_expr) TEAMNET_LOG(::teamnet::log::Level::Error, stream_expr)

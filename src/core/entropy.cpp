@@ -1,0 +1,62 @@
+#include "core/entropy.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace teamnet::core {
+
+Tensor predictive_entropy(const Tensor& probs) {
+  TEAMNET_CHECK(probs.rank() == 2);
+  const std::int64_t n = probs.dim(0), c = probs.dim(1);
+  Tensor h({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = probs.data() + i * c;
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float p = row[j];
+      if (p > 0.0f) acc -= static_cast<double>(p) * std::log(p);
+    }
+    h[i] = static_cast<float>(acc);
+  }
+  return h;
+}
+
+Tensor entropy_from_logits(const Tensor& logits) {
+  return predictive_entropy(ops::softmax_rows(logits));
+}
+
+Tensor entropy_matrix(const std::vector<nn::Module*>& experts, const Tensor& x) {
+  TEAMNET_CHECK(!experts.empty());
+  const std::int64_t n = x.dim(0);
+  const std::int64_t k = static_cast<std::int64_t>(experts.size());
+  Tensor h({n, k});
+  for (std::int64_t i = 0; i < k; ++i) {
+    nn::Module& expert = *experts[static_cast<std::size_t>(i)];
+    const bool was_training = expert.training();
+    expert.set_training(false);
+    Tensor he = entropy_from_logits(expert.predict(x));
+    expert.set_training(was_training);
+    for (std::int64_t r = 0; r < n; ++r) h[r * k + i] = he[r];
+  }
+  return h;
+}
+
+float relative_mean_abs_deviation(const Tensor& entropy) {
+  TEAMNET_CHECK(entropy.rank() == 2 && entropy.dim(0) > 0);
+  const std::int64_t n = entropy.dim(0), k = entropy.dim(1);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = entropy.data() + i * k;
+    double mean = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) mean += row[j];
+    mean /= static_cast<double>(k);
+    double dev = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) dev += std::abs(row[j] - mean);
+    dev /= static_cast<double>(k);
+    total += dev / std::max(mean, 1e-6);
+  }
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+}  // namespace teamnet::core

@@ -1,0 +1,29 @@
+// Predictive entropy — TeamNet's uncertainty measure (paper §IV-A).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace teamnet::core {
+
+/// Row-wise Shannon entropy of a probability matrix [n, C] -> [n].
+/// H(y|x) = -sum_c p_c log p_c, with p log p := 0 at p = 0.
+Tensor predictive_entropy(const Tensor& probs);
+
+/// Softmax-then-entropy of raw logits [n, C] -> [n].
+Tensor entropy_from_logits(const Tensor& logits);
+
+/// Entropy matrix H[x, i] = H(y-hat | x, theta_i) for a batch x and K
+/// experts (Algorithm 1 line 6). Experts are temporarily switched to eval
+/// mode so the probe does not perturb batch-norm running statistics.
+Tensor entropy_matrix(const std::vector<nn::Module*>& experts, const Tensor& x);
+
+/// Relative mean absolute deviation Delta of an entropy matrix [n, K]
+/// (paper §IV-B): mean over x of D(x) / E(x), where E is the row mean and D
+/// the row mean absolute deviation. E is clamped below to avoid division by
+/// ~zero when every expert is maximally confident.
+float relative_mean_abs_deviation(const Tensor& entropy);
+
+}  // namespace teamnet::core

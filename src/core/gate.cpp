@@ -1,0 +1,105 @@
+#include "core/gate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace teamnet::core {
+
+std::vector<int> gate_assign(const Tensor& entropy,
+                             const std::vector<float>& delta) {
+  TEAMNET_CHECK(entropy.rank() == 2);
+  const std::int64_t n = entropy.dim(0), k = entropy.dim(1);
+  TEAMNET_CHECK(static_cast<std::int64_t>(delta.size()) == k);
+  std::vector<int> assignment(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = entropy.data() + r * k;
+    int best = 0;
+    float best_score = delta[0] * row[0];
+    for (std::int64_t i = 1; i < k; ++i) {
+      const float score = delta[static_cast<std::size_t>(i)] * row[i];
+      if (score < best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    assignment[static_cast<std::size_t>(r)] = best;
+  }
+  return assignment;
+}
+
+std::vector<int> argmin_gate(const Tensor& entropy) {
+  return gate_assign(entropy,
+                     std::vector<float>(static_cast<std::size_t>(entropy.dim(1)),
+                                        1.0f));
+}
+
+std::vector<float> assignment_proportions(const std::vector<int>& assignment,
+                                          int num_experts) {
+  TEAMNET_CHECK(num_experts > 0);
+  std::vector<float> gamma(static_cast<std::size_t>(num_experts), 0.0f);
+  for (int a : assignment) {
+    TEAMNET_CHECK(a >= 0 && a < num_experts);
+    gamma[static_cast<std::size_t>(a)] += 1.0f;
+  }
+  if (!assignment.empty()) {
+    for (auto& g : gamma) g /= static_cast<float>(assignment.size());
+  }
+  return gamma;
+}
+
+std::vector<float> controller_target(const std::vector<float>& gamma,
+                                     float gain) {
+  return weighted_controller_target(
+      gamma, std::vector<float>(gamma.size(), 1.0f), gain);
+}
+
+std::vector<float> weighted_controller_target(const std::vector<float>& gamma,
+                                              const std::vector<float>& weights,
+                                              float gain) {
+  TEAMNET_CHECK(!gamma.empty() && gamma.size() == weights.size());
+  TEAMNET_CHECK(gain > 0.0f && gain < 1.0f);
+  float weight_sum = 0.0f;
+  for (float w : weights) {
+    TEAMNET_CHECK_MSG(w > 0.0f, "capacity weights must be positive");
+    weight_sum += w;
+  }
+
+  std::vector<float> target(gamma.size());
+  float positive_sum = 0.0f;
+  for (std::size_t i = 0; i < gamma.size(); ++i) {
+    const float set_point = weights[i] / weight_sum;
+    // Eq. (4)'s raw target can go negative under extreme bias; a proportion
+    // below zero is unachievable, so clamp and renormalize (the clamped
+    // mass flows to the starved experts, preserving sum = 1).
+    target[i] = std::max(0.0f, set_point - gain * (gamma[i] - set_point));
+    positive_sum += target[i];
+  }
+  if (positive_sum > 0.0f) {
+    for (auto& t : target) t /= positive_sum;
+  }
+  return target;
+}
+
+float gate_objective(const std::vector<float>& gamma_bar,
+                     const std::vector<float>& target) {
+  TEAMNET_CHECK(gamma_bar.size() == target.size() && !target.empty());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    acc += std::abs(gamma_bar[i] - target[i]);
+  }
+  return acc / static_cast<float>(target.size());
+}
+
+std::vector<std::vector<int>> partition_by_assignment(
+    const std::vector<int>& assignment, int num_experts) {
+  std::vector<std::vector<int>> parts(static_cast<std::size_t>(num_experts));
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    const int a = assignment[r];
+    TEAMNET_CHECK(a >= 0 && a < num_experts);
+    parts[static_cast<std::size_t>(a)].push_back(static_cast<int>(r));
+  }
+  return parts;
+}
+
+}  // namespace teamnet::core

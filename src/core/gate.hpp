@@ -1,0 +1,47 @@
+// Hard gate math (paper Eqs. 1-3): assignments, proportions and the bias
+// measure. The differentiable machinery lives in gate_trainer.hpp; these
+// helpers are the ground truth the relaxations approximate.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace teamnet::core {
+
+/// G-bar(x, delta) = argmin_i delta_i * H[x, i] for each row of `entropy`
+/// [n, K]; with delta = 1 this is the plain argmin gate G(x).
+std::vector<int> gate_assign(const Tensor& entropy,
+                             const std::vector<float>& delta);
+
+/// Plain argmin gate (delta = 1).
+std::vector<int> argmin_gate(const Tensor& entropy);
+
+/// gamma_i = |{x : assign(x) = i}| / n (Eqs. 2-3).
+std::vector<float> assignment_proportions(const std::vector<int>& assignment,
+                                          int num_experts);
+
+/// Controller target (Eq. 4): t_i = 1/K - a * (gamma_i - 1/K).
+/// Targets are clamped to >= 0 and renormalized (an unachievable negative
+/// proportion would stall the controller under extreme bias).
+std::vector<float> controller_target(const std::vector<float>& gamma, float gain);
+
+/// Generalized controller target (the paper's §VII future-work direction):
+/// each expert i gets set point w_i instead of 1/K, so heterogeneous edge
+/// devices can be assigned data in proportion to their capacity:
+///   t_i = w_i - a * (gamma_i - w_i), clamped and renormalized.
+/// `weights` must be positive; they are normalized to sum to 1.
+std::vector<float> weighted_controller_target(const std::vector<float>& gamma,
+                                              const std::vector<float>& weights,
+                                              float gain);
+
+/// Objective J (Algorithm 2 line 10): mean_i |gamma_bar_i - target_i|.
+float gate_objective(const std::vector<float>& gamma_bar,
+                     const std::vector<float>& target);
+
+/// Groups sample indices by expert: result[i] lists batch rows assigned to
+/// expert i (Algorithm 3's beta_i).
+std::vector<std::vector<int>> partition_by_assignment(
+    const std::vector<int>& assignment, int num_experts);
+
+}  // namespace teamnet::core

@@ -1,0 +1,127 @@
+#include "core/gate_policy.hpp"
+
+#include <cmath>
+
+namespace teamnet::core {
+
+std::string to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::Learned: return "learned";
+    case GateKind::ArgMin: return "argmin";
+    case GateKind::Proportional: return "proportional";
+    case GateKind::Random: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+class LearnedGate final : public GatePolicy {
+ public:
+  LearnedGate(int k, const GateTrainerConfig& config, Rng rng)
+      : trainer_(k, config, rng) {}
+  GateDecision decide(const Tensor& entropy) override {
+    return trainer_.decide(entropy);
+  }
+  GateKind kind() const override { return GateKind::Learned; }
+
+ private:
+  GateTrainer trainer_;
+};
+
+class ArgMinGatePolicy final : public GatePolicy {
+ public:
+  explicit ArgMinGatePolicy(int k) : k_(k) {}
+  GateDecision decide(const Tensor& entropy) override {
+    GateDecision d;
+    d.delta.assign(static_cast<std::size_t>(k_), 1.0f);
+    d.assignment = argmin_gate(entropy);
+    d.gamma = assignment_proportions(d.assignment, k_);
+    d.gamma_bar = d.gamma;
+    d.iterations = 0;
+    return d;
+  }
+  GateKind kind() const override { return GateKind::ArgMin; }
+
+ private:
+  int k_;
+};
+
+/// Direct multiplicative P-controller on delta, no MLP: experts that drew
+/// more than 1/K of recent batches get their entropies scaled up (handicap)
+/// so they win fewer future samples.
+class ProportionalGatePolicy final : public GatePolicy {
+ public:
+  ProportionalGatePolicy(int k, float gain)
+      : k_(k), gain_(gain), delta_(static_cast<std::size_t>(k), 1.0f) {}
+
+  GateDecision decide(const Tensor& entropy) override {
+    GateDecision d;
+    d.gamma = assignment_proportions(argmin_gate(entropy), k_);
+    const float set_point = 1.0f / static_cast<float>(k_);
+    // Closed loop: correct delta from the proportions ACHIEVED under the
+    // current delta, so the handicap settles instead of winding up.
+    const auto achieved =
+        assignment_proportions(gate_assign(entropy, delta_), k_);
+    for (int i = 0; i < k_; ++i) {
+      auto& delta = delta_[static_cast<std::size_t>(i)];
+      delta *= std::exp(gain_ * (achieved[static_cast<std::size_t>(i)] -
+                                 set_point));
+      delta = std::clamp(delta, 0.1f, 10.0f);
+    }
+    d.delta = delta_;
+    d.assignment = gate_assign(entropy, delta_);
+    d.gamma_bar = assignment_proportions(d.assignment, k_);
+    d.objective = gate_objective(d.gamma_bar, controller_target(d.gamma, gain_));
+    d.iterations = 1;
+    return d;
+  }
+  GateKind kind() const override { return GateKind::Proportional; }
+
+ private:
+  int k_;
+  float gain_;
+  std::vector<float> delta_;
+};
+
+class RandomGatePolicy final : public GatePolicy {
+ public:
+  RandomGatePolicy(int k, Rng rng) : k_(k), rng_(rng) {}
+  GateDecision decide(const Tensor& entropy) override {
+    GateDecision d;
+    d.delta.assign(static_cast<std::size_t>(k_), 1.0f);
+    const std::int64_t n = entropy.dim(0);
+    d.assignment.resize(static_cast<std::size_t>(n));
+    for (auto& a : d.assignment) a = rng_.randint(0, k_ - 1);
+    d.gamma = assignment_proportions(argmin_gate(entropy), k_);
+    d.gamma_bar = assignment_proportions(d.assignment, k_);
+    d.iterations = 0;
+    return d;
+  }
+  GateKind kind() const override { return GateKind::Random; }
+
+ private:
+  int k_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<GatePolicy> make_gate_policy(GateKind kind, int num_experts,
+                                             const GateTrainerConfig& config,
+                                             Rng rng) {
+  switch (kind) {
+    case GateKind::Learned:
+      return std::make_unique<LearnedGate>(num_experts, config, rng);
+    case GateKind::ArgMin:
+      return std::make_unique<ArgMinGatePolicy>(num_experts);
+    case GateKind::Proportional:
+      return std::make_unique<ProportionalGatePolicy>(num_experts,
+                                                      config.gain_a);
+    case GateKind::Random:
+      return std::make_unique<RandomGatePolicy>(num_experts, rng);
+  }
+  throw InvalidArgument("unknown gate kind");
+}
+
+}  // namespace teamnet::core

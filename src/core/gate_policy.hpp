@@ -1,0 +1,32 @@
+// Pluggable gate policies. The paper's TeamNet uses the learned dynamic
+// gate (Algorithm 2); the alternatives exist for the ablation benches:
+//   * ArgMin      — a = 0, no bias correction ("richer gets richer")
+//   * Proportional— the P-controller applied directly to delta, no MLP
+//   * Random      — uniform random assignment (SG-MoE-style data routing)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/gate_trainer.hpp"
+
+namespace teamnet::core {
+
+enum class GateKind { Learned, ArgMin, Proportional, Random };
+
+std::string to_string(GateKind kind);
+
+class GatePolicy {
+ public:
+  virtual ~GatePolicy() = default;
+  /// Assigns each row of the entropy matrix [n, K] to an expert.
+  virtual GateDecision decide(const Tensor& entropy) = 0;
+  virtual GateKind kind() const = 0;
+};
+
+/// Factory. `rng` seeds the policy's private stream.
+std::unique_ptr<GatePolicy> make_gate_policy(GateKind kind, int num_experts,
+                                             const GateTrainerConfig& config,
+                                             Rng rng);
+
+}  // namespace teamnet::core

@@ -1,0 +1,40 @@
+#include "core/soft_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace teamnet::core {
+
+ag::Var soft_argmin_rows(const ag::Var& scores, const ag::Var& b) {
+  TEAMNET_CHECK(scores.value().rank() == 2);
+  TEAMNET_CHECK(b.value().numel() == 1);
+  const std::int64_t k = scores.value().dim(1);
+  // softmax(-b * scores) row-wise, then expectation of the index.
+  ag::Var scaled = ag::neg(ag::mul(scores, b));
+  ag::Var weights = ag::softmax_rows(scaled);
+  Tensor index_col({k, 1});
+  for (std::int64_t i = 0; i < k; ++i) index_col[i] = static_cast<float>(i);
+  return ag::matmul(weights, ag::constant(std::move(index_col)));
+}
+
+ag::Var soft_argmin_rows(const ag::Var& scores, float b) {
+  return soft_argmin_rows(scores, ag::constant(Tensor::full({1}, b)));
+}
+
+ag::Var soft_indicator(const ag::Var& gbar, int i, float c) {
+  // tanh(c * relu(0.5 - |gbar - i|))
+  ag::Var shifted = ag::abs(ag::add_scalar(gbar, -static_cast<float>(i)));
+  ag::Var ramped = ag::relu(ag::add_scalar(ag::neg(shifted), 0.5f));
+  return ag::tanh(ag::mul_scalar(ramped, c));
+}
+
+ag::Var mean_rounding_distance(const ag::Var& gbar) {
+  Tensor rounded(gbar.value().shape());
+  for (std::int64_t i = 0; i < rounded.numel(); ++i) {
+    rounded[i] = std::round(gbar.value()[i]);
+  }
+  return ag::mean_all(ag::abs(ag::sub(gbar, ag::constant(std::move(rounded)))));
+}
+
+}  // namespace teamnet::core

@@ -1,0 +1,27 @@
+// Differentiable relaxations used by the gate trainer (paper Eqs. 5-7).
+#pragma once
+
+#include "tensor/autograd.hpp"
+
+namespace teamnet::core {
+
+/// Soft argmin (Eq. 5): for each row of `scores` [n, K],
+///   soft_argmin(x) = sum_i softmax_j(-b * x_j) * i          -> [n, 1]
+/// `b` is a positive scalar Var (shape [1]) so the meta-estimator can train
+/// it; as b -> inf the output approaches the hard argmin index.
+ag::Var soft_argmin_rows(const ag::Var& scores, const ag::Var& b);
+
+/// Convenience overload with a fixed temperature.
+ag::Var soft_argmin_rows(const ag::Var& scores, float b);
+
+/// Differentiable Kronecker-delta approximation (Eq. 7):
+///   1[g = i]  ~  tanh(c * relu(0.5 - |g - i|))
+/// applied elementwise to `gbar` [n, 1] for expert index `i`.
+ag::Var soft_indicator(const ag::Var& gbar, int i, float c = 10.0f);
+
+/// Mean distance of each row of `gbar` to its nearest integer (the
+/// meta-estimator's rounding term in Eq. 6). The rounding target is treated
+/// as a constant, so gradients flow only through gbar.
+ag::Var mean_rounding_distance(const ag::Var& gbar);
+
+}  // namespace teamnet::core

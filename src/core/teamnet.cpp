@@ -1,0 +1,144 @@
+#include "core/teamnet.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/entropy.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::core {
+
+TeamNetEnsemble::TeamNetEnsemble(std::vector<nn::ModulePtr> experts)
+    : experts_(std::move(experts)) {
+  TEAMNET_CHECK(!experts_.empty());
+  for (auto& e : experts_) {
+    TEAMNET_CHECK(e != nullptr);
+    e->set_training(false);
+  }
+}
+
+TeamNetEnsemble::InferenceResult TeamNetEnsemble::infer(const Tensor& x,
+                                                        SelectionRule rule) {
+  const std::int64_t n = x.dim(0);
+  const int k = num_experts();
+
+  // Step 3 of Figure 1: every expert runs on the same input.
+  std::vector<Tensor> probs(static_cast<std::size_t>(k));
+  InferenceResult result;
+  result.entropy = Tensor({n, static_cast<std::int64_t>(k)});
+  for (int i = 0; i < k; ++i) {
+    probs[static_cast<std::size_t>(i)] =
+        ops::softmax_rows(experts_[static_cast<std::size_t>(i)]->predict(x));
+    Tensor h = predictive_entropy(probs[static_cast<std::size_t>(i)]);
+    for (std::int64_t r = 0; r < n; ++r) result.entropy[r * k + i] = h[r];
+  }
+
+  const std::int64_t c = probs[0].dim(1);
+  result.probs = Tensor({n, c});
+  result.chosen.resize(static_cast<std::size_t>(n));
+  result.predictions.resize(static_cast<std::size_t>(n));
+
+  if (rule == SelectionRule::ArgMinEntropy) {
+    // Steps 4-5: the least-uncertain expert's output is the final answer.
+    result.chosen = ops::argmin_rows(result.entropy);
+    for (std::int64_t r = 0; r < n; ++r) {
+      const int w = result.chosen[static_cast<std::size_t>(r)];
+      const float* src = probs[static_cast<std::size_t>(w)].data() + r * c;
+      std::copy(src, src + c, result.probs.data() + r * c);
+    }
+  } else {
+    // Majority vote; ties break toward the least-uncertain voter.
+    for (std::int64_t r = 0; r < n; ++r) {
+      std::vector<int> votes(static_cast<std::size_t>(c), 0);
+      for (int i = 0; i < k; ++i) {
+        const float* row = probs[static_cast<std::size_t>(i)].data() + r * c;
+        const int cls = static_cast<int>(std::max_element(row, row + c) - row);
+        ++votes[static_cast<std::size_t>(cls)];
+      }
+      const int top_votes = *std::max_element(votes.begin(), votes.end());
+      int winner = -1;
+      float winner_entropy = 1e9f;
+      for (int i = 0; i < k; ++i) {
+        const float* row = probs[static_cast<std::size_t>(i)].data() + r * c;
+        const int cls = static_cast<int>(std::max_element(row, row + c) - row);
+        if (votes[static_cast<std::size_t>(cls)] == top_votes &&
+            result.entropy[r * k + i] < winner_entropy) {
+          winner = i;
+          winner_entropy = result.entropy[r * k + i];
+        }
+      }
+      result.chosen[static_cast<std::size_t>(r)] = winner;
+      const float* src = probs[static_cast<std::size_t>(winner)].data() + r * c;
+      std::copy(src, src + c, result.probs.data() + r * c);
+    }
+  }
+
+  result.predictions = ops::argmax_rows(result.probs);
+  return result;
+}
+
+double TeamNetEnsemble::evaluate_accuracy(const data::Dataset& dataset,
+                                          SelectionRule rule) {
+  const InferenceResult result = infer(dataset.images, rule);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.labels.size(); ++i) {
+    if (result.predictions[i] == dataset.labels[i]) ++correct;
+  }
+  return dataset.labels.empty()
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(dataset.labels.size());
+}
+
+TeamNetTrainer::TeamNetTrainer(const TeamNetConfig& config,
+                               ExpertFactory factory)
+    : config_(config), factory_(std::move(factory)) {
+  TEAMNET_CHECK(config.num_experts >= 2);
+  TEAMNET_CHECK(config.epochs >= 1 && config.batch_size >= 1);
+  TEAMNET_CHECK(factory_ != nullptr);
+}
+
+TeamNetEnsemble TeamNetTrainer::train(const data::Dataset& train_data) {
+  train_data.validate();
+  Rng rng(config_.seed);
+  telemetry_ = ConvergenceTelemetry{};
+
+  // Build K experts from the factory (paper §III: same downsized
+  // architecture, independent random weights).
+  std::vector<nn::ModulePtr> experts;
+  std::vector<nn::Module*> expert_ptrs;
+  for (int i = 0; i < config_.num_experts; ++i) {
+    Rng expert_rng = rng.fork(static_cast<std::uint64_t>(i) + 100);
+    experts.push_back(factory_(i, expert_rng));
+    expert_ptrs.push_back(experts.back().get());
+  }
+
+  auto gate = make_gate_policy(config_.gate_kind, config_.num_experts,
+                               config_.gate, rng.fork(1));
+  ExpertTrainer expert_trainer(expert_ptrs, config_.sgd);
+
+  Rng shuffle_rng = rng.fork(2);
+  data::BatchIterator batches(train_data, config_.batch_size, &shuffle_rng);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.lr_schedule) {
+      expert_trainer.set_lr_multiplier(config_.lr_schedule(epoch));
+    }
+    batches.reset();
+    for (data::Batch batch = batches.next(); batch.size() > 0;
+         batch = batches.next()) {
+      // Algorithm 1 lines 6-8.
+      Tensor h = entropy_matrix(expert_ptrs, batch.x);
+      GateDecision decision = gate->decide(h);
+      expert_trainer.train_on_batch(batch.x, batch.y, decision.assignment);
+      telemetry_.record(decision.gamma_bar, decision.objective,
+                        decision.iterations);
+    }
+    LOG_INFO("teamnet epoch " << epoch + 1 << "/" << config_.epochs
+                              << " done, iterations=" << telemetry_.iterations());
+  }
+
+  return TeamNetEnsemble(std::move(experts));
+}
+
+}  // namespace teamnet::core

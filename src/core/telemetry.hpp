@@ -1,0 +1,53 @@
+// Per-iteration training telemetry: the quantities Figures 6 and 8 of the
+// paper plot (the proportion of each batch assigned to each expert).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace teamnet::core {
+
+struct ConvergenceTelemetry {
+  /// gamma_bar per training iteration (batch); inner size = num experts.
+  std::vector<std::vector<float>> gamma_bar_history;
+  /// Final hard gate objective J per iteration.
+  std::vector<float> objective_history;
+  /// Gate inner-loop iterations spent per batch.
+  std::vector<int> gate_iterations;
+
+  void record(const std::vector<float>& gamma_bar, float objective, int iters) {
+    gamma_bar_history.push_back(gamma_bar);
+    objective_history.push_back(objective);
+    gate_iterations.push_back(iters);
+  }
+
+  std::size_t iterations() const { return gamma_bar_history.size(); }
+
+  /// Maximum |gamma_bar_i - 1/K| at iteration t.
+  float max_deviation(std::size_t t) const {
+    TEAMNET_CHECK(t < gamma_bar_history.size());
+    const auto& g = gamma_bar_history[t];
+    const float set_point = 1.0f / static_cast<float>(g.size());
+    float worst = 0.0f;
+    for (float v : g) worst = std::max(worst, std::abs(v - set_point));
+    return worst;
+  }
+
+  /// First iteration after which max_deviation stays below `tol` for
+  /// `window` consecutive iterations; -1 when never converged.
+  int iterations_to_converge(float tol, int window) const {
+    int run = 0;
+    for (std::size_t t = 0; t < iterations(); ++t) {
+      run = max_deviation(t) < tol ? run + 1 : 0;
+      if (run >= window) return static_cast<int>(t) - window + 1;
+    }
+    return -1;
+  }
+
+  /// Mean gamma_bar over the last `window` iterations (smoothed view used
+  /// when printing the convergence figures).
+  std::vector<float> smoothed_gamma(std::size_t t, std::size_t window) const;
+};
+
+}  // namespace teamnet::core

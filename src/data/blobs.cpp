@@ -1,0 +1,31 @@
+#include "data/blobs.hpp"
+
+#include "common/error.hpp"
+
+namespace teamnet::data {
+
+Dataset make_blobs(const BlobsConfig& config) {
+  TEAMNET_CHECK(config.num_samples > 0 && config.num_classes > 0 &&
+                config.dims > 0);
+  Rng rng(config.seed);
+  Tensor centers = Tensor::randn(
+      {config.num_classes, config.dims}, rng, 0.0f, config.center_scale);
+
+  Dataset out;
+  out.num_classes = static_cast<int>(config.num_classes);
+  out.images = Tensor({config.num_samples, config.dims});
+  out.labels.resize(static_cast<std::size_t>(config.num_samples));
+  for (std::int64_t i = 0; i < config.num_samples; ++i) {
+    const int cls = static_cast<int>(i % config.num_classes);
+    out.labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t d = 0; d < config.dims; ++d) {
+      out.images[i * config.dims + d] =
+          centers[cls * config.dims + d] + rng.normal(0.0f, config.noise_stddev);
+    }
+  }
+  out.shuffle(rng);
+  out.validate();
+  return out;
+}
+
+}  // namespace teamnet::data

@@ -1,0 +1,22 @@
+// Gaussian-blob toy dataset: K well-separated class clusters in D
+// dimensions. Used by unit/property tests that need a dataset trainable in
+// milliseconds, and by the quickstart example's first steps.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace teamnet::data {
+
+struct BlobsConfig {
+  std::int64_t num_samples = 512;
+  std::int64_t num_classes = 4;
+  std::int64_t dims = 8;
+  float center_scale = 4.0f;   ///< cluster centers drawn from N(0, scale^2)
+  float noise_stddev = 0.5f;   ///< within-cluster spread
+  std::uint64_t seed = 3;
+};
+
+Dataset make_blobs(const BlobsConfig& config);
+
+}  // namespace teamnet::data

@@ -1,0 +1,97 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::data {
+
+Shape Dataset::sample_shape() const {
+  TEAMNET_CHECK(images.rank() >= 1);
+  Shape s(images.shape().begin() + 1, images.shape().end());
+  return s;
+}
+
+Dataset Dataset::subset(const std::vector<int>& indices) const {
+  Dataset out;
+  out.images = ops::take_rows(images, indices);
+  out.labels.reserve(indices.size());
+  for (int i : indices) {
+    TEAMNET_CHECK(i >= 0 && i < size());
+    out.labels.push_back(labels[static_cast<std::size_t>(i)]);
+  }
+  out.num_classes = num_classes;
+  return out;
+}
+
+Dataset Dataset::take(std::int64_t n) const {
+  TEAMNET_CHECK(n >= 0 && n <= size());
+  std::vector<int> indices(static_cast<std::size_t>(n));
+  std::iota(indices.begin(), indices.end(), 0);
+  return subset(indices);
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<int> perm = rng.permutation(static_cast<int>(size()));
+  *this = subset(perm);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double frac) const {
+  TEAMNET_CHECK(frac >= 0.0 && frac <= 1.0);
+  const std::int64_t n_first = static_cast<std::int64_t>(
+      static_cast<double>(size()) * frac);
+  std::vector<int> first(static_cast<std::size_t>(n_first));
+  std::iota(first.begin(), first.end(), 0);
+  std::vector<int> second(static_cast<std::size_t>(size() - n_first));
+  std::iota(second.begin(), second.end(), static_cast<int>(n_first));
+  return {subset(first), subset(second)};
+}
+
+std::vector<int> Dataset::class_counts() const {
+  std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+  for (int y : labels) {
+    TEAMNET_CHECK(y >= 0 && y < num_classes);
+    ++counts[static_cast<std::size_t>(y)];
+  }
+  return counts;
+}
+
+void Dataset::validate() const {
+  TEAMNET_CHECK_MSG(images.rank() >= 2, "images must be batched");
+  TEAMNET_CHECK_MSG(images.dim(0) == size(),
+                    "images batch " << images.dim(0) << " != labels "
+                                    << size());
+  TEAMNET_CHECK(num_classes > 0);
+  for (int y : labels) TEAMNET_CHECK(y >= 0 && y < num_classes);
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::int64_t batch_size,
+                             Rng* rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  TEAMNET_CHECK(batch_size > 0);
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void BatchIterator::reset() {
+  cursor_ = 0;
+  if (rng_ != nullptr) rng_->shuffle(order_);
+}
+
+std::int64_t BatchIterator::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch BatchIterator::next() {
+  if (cursor_ >= dataset_.size()) return Batch{};
+  const std::int64_t end = std::min(cursor_ + batch_size_, dataset_.size());
+  std::vector<int> indices(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  Dataset sub = dataset_.subset(indices);
+  return Batch{std::move(sub.images), std::move(sub.labels)};
+}
+
+}  // namespace teamnet::data

@@ -1,0 +1,119 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace teamnet::data {
+
+namespace {
+
+// Seven-segment layout on a unit square (x right, y down):
+//   A: top  B: top-right  C: bottom-right  D: bottom
+//   E: bottom-left  F: top-left  G: middle
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+constexpr std::array<Segment, 7> kSegments = {{
+    {0.15f, 0.05f, 0.85f, 0.05f},  // A
+    {0.85f, 0.05f, 0.85f, 0.50f},  // B
+    {0.85f, 0.50f, 0.85f, 0.95f},  // C
+    {0.15f, 0.95f, 0.85f, 0.95f},  // D
+    {0.15f, 0.50f, 0.15f, 0.95f},  // E
+    {0.15f, 0.05f, 0.15f, 0.50f},  // F
+    {0.15f, 0.50f, 0.85f, 0.50f},  // G
+}};
+
+// Active segments per digit (A..G).
+constexpr std::array<std::uint8_t, 10> kDigitMask = {
+    0b0111111,  // 0: ABCDEF
+    0b0000110,  // 1: BC
+    0b1011011,  // 2: ABDEG
+    0b1001111,  // 3: ABCDG
+    0b1100110,  // 4: BCFG
+    0b1101101,  // 5: ACDFG
+    0b1111101,  // 6: ACDEFG
+    0b0000111,  // 7: ABC
+    0b1111111,  // 8: all
+    0b1101111,  // 9: ABCDFG
+};
+
+float point_segment_distance(float px, float py, const Segment& s) {
+  const float dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0f ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x0 + t * dx, cy = s.y0 + t * dy;
+  return std::sqrt((px - cx) * (px - cx) + (py - cy) * (py - cy));
+}
+
+}  // namespace
+
+Tensor render_digit(int digit, std::int64_t image_size, Rng& rng,
+                    float noise_stddev, float max_jitter) {
+  TEAMNET_CHECK(digit >= 0 && digit <= 9 && image_size >= 12);
+  const float size = static_cast<float>(image_size);
+
+  // Per-sample glyph transform.
+  const float scale = rng.uniform(0.55f, 0.75f) * size;
+  const float ox = (size - scale) * 0.5f + rng.uniform(-max_jitter, max_jitter);
+  const float oy = (size - scale) * 0.5f + rng.uniform(-max_jitter, max_jitter);
+  const float thickness = rng.uniform(0.055f, 0.095f);  // in glyph units
+  const float intensity = rng.uniform(0.75f, 1.0f);
+  const float slant = rng.uniform(-0.12f, 0.12f);  // horizontal shear
+
+  const std::uint8_t mask = kDigitMask[static_cast<std::size_t>(digit)];
+  Tensor image({image_size, image_size});
+  for (std::int64_t y = 0; y < image_size; ++y) {
+    for (std::int64_t x = 0; x < image_size; ++x) {
+      // Map pixel back into glyph coordinates (inverse shear + scale).
+      const float gy = (static_cast<float>(y) - oy) / scale;
+      const float gx =
+          (static_cast<float>(x) - ox) / scale - slant * (gy - 0.5f);
+      float best = 1e9f;
+      for (std::size_t s = 0; s < kSegments.size(); ++s) {
+        if (!(mask >> s & 1)) continue;
+        best = std::min(best, point_segment_distance(gx, gy, kSegments[s]));
+      }
+      // Smooth stroke falloff.
+      float v = 0.0f;
+      if (best < thickness) {
+        v = intensity;
+      } else if (best < 2.0f * thickness) {
+        v = intensity * (2.0f - best / thickness);
+      }
+      v += rng.normal(0.0f, noise_stddev);
+      image[y * image_size + x] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  return image;
+}
+
+Dataset make_synthetic_mnist(const MnistConfig& config) {
+  TEAMNET_CHECK(config.num_samples > 0);
+  Rng rng(config.seed);
+  const std::int64_t n = config.num_samples;
+  const std::int64_t features = config.image_size * config.image_size;
+
+  Dataset out;
+  out.num_classes = 10;
+  out.images = Tensor({n, features});
+  out.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int digit = config.balanced ? static_cast<int>(i % 10)
+                                      : rng.randint(0, 9);
+    out.labels[static_cast<std::size_t>(i)] = digit;
+    Tensor img = render_digit(digit, config.image_size, rng,
+                              config.noise_stddev, config.max_jitter);
+    std::copy(img.values().begin(), img.values().end(),
+              out.images.data() + i * features);
+  }
+  out.shuffle(rng);
+  out.validate();
+  return out;
+}
+
+}  // namespace teamnet::data

@@ -1,0 +1,88 @@
+#include "moe/moe_serving.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace teamnet::moe {
+
+MoeMaster::MoeMaster(SgMoe& model, std::vector<net::Channel*> workers)
+    : model_(model), workers_(std::move(workers)) {
+  TEAMNET_CHECK_MSG(
+      static_cast<int>(workers_.size()) == model.num_experts() - 1,
+      "need one worker channel per remote expert");
+  for (auto* w : workers_) TEAMNET_CHECK(w != nullptr);
+}
+
+MoeMaster::Result MoeMaster::infer(const Tensor& x) {
+  const std::int64_t n = x.dim(0);
+
+  // Gate evaluation on the master (tiny linear layer).
+  if (on_compute_) {
+    on_compute_(2 * x.numel() / n * model_.num_experts() * n);
+  }
+  Result result;
+  result.routed = model_.route(x);
+
+  // Group rows per expert; remote groups cost one round trip each.
+  std::vector<std::vector<int>> groups(
+      static_cast<std::size_t>(model_.num_experts()));
+  for (std::int64_t r = 0; r < n; ++r) {
+    groups[static_cast<std::size_t>(
+               result.routed[static_cast<std::size_t>(r)])]
+        .push_back(static_cast<int>(r));
+  }
+
+  Tensor probs;
+  auto place = [&](const std::vector<int>& rows, const Tensor& pi) {
+    if (!probs.defined()) probs = Tensor({n, pi.dim(1)});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::copy(pi.data() + static_cast<std::int64_t>(r) * pi.dim(1),
+                pi.data() + static_cast<std::int64_t>(r + 1) * pi.dim(1),
+                probs.data() + rows[r] * pi.dim(1));
+    }
+  };
+
+  // Dispatch remote requests first so the remote nodes compute while the
+  // master handles its local group.
+  for (int i = 1; i < model_.num_experts(); ++i) {
+    const auto& rows = groups[static_cast<std::size_t>(i)];
+    if (rows.empty()) continue;
+    net::Message request;
+    request.type = net::MsgType::Infer;
+    request.tensors = {ops::take_rows(x, rows)};
+    workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
+  }
+
+  // Local expert 0.
+  if (!groups[0].empty()) {
+    Tensor xi = ops::take_rows(x, groups[0]);
+    if (on_compute_) {
+      Shape sample_shape(xi.shape().begin() + 1, xi.shape().end());
+      on_compute_(model_.expert(0).analyze(sample_shape).flops * xi.dim(0));
+    }
+    place(groups[0], ops::softmax_rows(model_.expert(0).predict(xi)));
+  }
+
+  // Collect remote replies.
+  for (int i = 1; i < model_.num_experts(); ++i) {
+    const auto& rows = groups[static_cast<std::size_t>(i)];
+    if (rows.empty()) continue;
+    net::Message reply = net::Message::decode(
+        workers_[static_cast<std::size_t>(i - 1)]->recv());
+    TEAMNET_CHECK(reply.type == net::MsgType::Result &&
+                  reply.tensors.size() == 2);
+    place(rows, reply.tensors[0]);
+  }
+
+  result.probs = std::move(probs);
+  result.predictions = ops::argmax_rows(result.probs);
+  return result;
+}
+
+void MoeMaster::shutdown() {
+  net::Message msg;
+  msg.type = net::MsgType::Shutdown;
+  const std::string encoded = msg.encode();
+  for (auto* worker : workers_) worker->send(encoded);
+}
+
+}  // namespace teamnet::moe

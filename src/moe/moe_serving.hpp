@@ -1,0 +1,40 @@
+// Distributed SG-MoE inference (§VI-A): each expert runs on its own edge
+// node; the gate sits on node 0 alongside expert 0. For every query the
+// master evaluates the gate, routes the input to the top-1 expert's node
+// (one request/response round trip — or a local call when expert 0 wins),
+// and returns that expert's prediction.
+//
+// Workers reuse net::CollaborativeWorker — the Infer/Result protocol is the
+// same; only the master's routing differs from TeamNet's broadcast.
+#pragma once
+
+#include <vector>
+
+#include "moe/sg_moe.hpp"
+#include "net/collab.hpp"
+
+namespace teamnet::moe {
+
+class MoeMaster {
+ public:
+  /// `workers[i]` serves expert i+1; expert 0 runs locally on the master.
+  MoeMaster(SgMoe& model, std::vector<net::Channel*> workers);
+
+  struct Result {
+    Tensor probs;
+    std::vector<int> predictions;
+    std::vector<int> routed;  ///< expert chosen per sample
+  };
+
+  Result infer(const Tensor& x);
+  void shutdown();
+
+  void set_compute_hook(net::ComputeHook hook) { on_compute_ = std::move(hook); }
+
+ private:
+  SgMoe& model_;
+  std::vector<net::Channel*> workers_;
+  net::ComputeHook on_compute_;
+};
+
+}  // namespace teamnet::moe

@@ -1,0 +1,82 @@
+// Sparsely-Gated Mixture-of-Experts (Shazeer et al. 2017) — the paper's
+// SOTA MoE baseline (§II, §VI-A).
+//
+// A linear gating network over the flattened input produces noisy logits;
+// only the top-k experts run per sample, their outputs mixed by the
+// renormalized gate weights. Experts and gate train jointly on
+// cross-entropy plus an importance load-balancing penalty (the CV^2 of the
+// per-expert gate mass). Unlike TeamNet there is no uncertainty-driven
+// specialization: data routing follows the gate's noisy preferences, which
+// is exactly why SG-MoE loses accuracy to TeamNet in Tables I-II.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+namespace teamnet::moe {
+
+struct SgMoeConfig {
+  int num_experts = 2;
+  int top_k = 2;                    ///< experts active per sample in training
+  float noise_stddev = 1.0f;        ///< gating noise (exploration)
+  float load_balance_weight = 0.1f; ///< weight of the CV^2 importance loss
+  int epochs = 3;
+  std::int64_t batch_size = 64;
+  nn::SgdConfig sgd;
+  std::uint64_t seed = 9;
+};
+
+using ExpertFactory = std::function<nn::ModulePtr(int index, Rng& rng)>;
+
+class SgMoe {
+ public:
+  /// `gate_in_features` is the flattened input size the gate sees.
+  SgMoe(const SgMoeConfig& config, std::int64_t gate_in_features,
+        const ExpertFactory& factory);
+
+  /// Joint training of gate and experts.
+  void train(const data::Dataset& dataset);
+
+  struct Inference {
+    Tensor probs;                  ///< [n, C]
+    std::vector<int> predictions;
+    std::vector<int> routed;       ///< top-1 expert per sample
+  };
+
+  /// Top-1 sparse inference (each sample runs exactly one expert).
+  Inference infer(const Tensor& x);
+
+  double evaluate_accuracy(const data::Dataset& dataset);
+
+  /// Top-1 expert per row without running the experts (used by the
+  /// distributed serving master).
+  std::vector<int> route(const Tensor& x);
+
+  int num_experts() const { return config_.num_experts; }
+  nn::Module& expert(int i) { return *experts_.at(static_cast<std::size_t>(i)); }
+  nn::Linear& gate() { return *gate_; }
+  const SgMoeConfig& config() const { return config_; }
+
+  /// Mean training loss per epoch from the last train() call.
+  const std::vector<float>& loss_history() const { return loss_history_; }
+
+ private:
+  /// Gate logits for a batch (optionally with exploration noise).
+  Tensor gate_logits(const Tensor& x, bool add_noise);
+
+  SgMoeConfig config_;
+  std::int64_t gate_in_;
+  Rng rng_;
+  std::unique_ptr<nn::Linear> gate_;
+  std::vector<nn::ModulePtr> experts_;
+  std::vector<float> loss_history_;
+};
+
+}  // namespace teamnet::moe

@@ -1,0 +1,100 @@
+#include "mpi/communicator.hpp"
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::mpi {
+
+Communicator::Communicator(int rank, std::vector<net::Channel*> peers)
+    : rank_(rank), peers_(std::move(peers)) {
+  TEAMNET_CHECK(rank_ >= 0 && rank_ < size());
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) {
+      TEAMNET_CHECK_MSG(peers_[static_cast<std::size_t>(r)] == nullptr,
+                        "self channel must be null");
+    } else {
+      TEAMNET_CHECK_MSG(peers_[static_cast<std::size_t>(r)] != nullptr,
+                        "missing channel to rank " << r);
+    }
+  }
+}
+
+void Communicator::send(int to, const net::Message& msg) {
+  TEAMNET_CHECK(to >= 0 && to < size() && to != rank_);
+  peers_[static_cast<std::size_t>(to)]->send(msg.encode());
+}
+
+net::Message Communicator::recv(int from) {
+  TEAMNET_CHECK(from >= 0 && from < size() && from != rank_);
+  return net::Message::decode(peers_[static_cast<std::size_t>(from)]->recv());
+}
+
+Tensor Communicator::bcast(const Tensor& t, int root) {
+  if (rank_ == root) {
+    net::Message msg;
+    msg.type = net::MsgType::Collective;
+    msg.tensors = {t};
+    for (int r = 0; r < size(); ++r) {
+      if (r != rank_) send(r, msg);
+    }
+    return t;
+  }
+  net::Message msg = recv(root);
+  TEAMNET_CHECK(msg.type == net::MsgType::Collective && msg.tensors.size() == 1);
+  return std::move(msg.tensors[0]);
+}
+
+std::vector<Tensor> Communicator::gather(const Tensor& t, int root) {
+  if (rank_ == root) {
+    std::vector<Tensor> all(static_cast<std::size_t>(size()));
+    all[static_cast<std::size_t>(rank_)] = t;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      net::Message msg = recv(r);
+      TEAMNET_CHECK(msg.type == net::MsgType::Collective &&
+                    msg.tensors.size() == 1);
+      all[static_cast<std::size_t>(r)] = std::move(msg.tensors[0]);
+    }
+    return all;
+  }
+  net::Message msg;
+  msg.type = net::MsgType::Collective;
+  msg.tensors = {t};
+  send(root, msg);
+  return {};
+}
+
+std::vector<Tensor> Communicator::allgather(const Tensor& t) {
+  // Gather to rank 0 then fan the full set back out.
+  std::vector<Tensor> all = gather(t, 0);
+  if (rank_ == 0) {
+    net::Message msg;
+    msg.type = net::MsgType::Collective;
+    msg.tensors = all;
+    for (int r = 1; r < size(); ++r) send(r, msg);
+    return all;
+  }
+  net::Message msg = recv(0);
+  TEAMNET_CHECK(msg.type == net::MsgType::Collective &&
+                static_cast<int>(msg.tensors.size()) == size());
+  return std::move(msg.tensors);
+}
+
+Tensor Communicator::allreduce_sum(const Tensor& t) {
+  std::vector<Tensor> all = gather(t, 0);
+  Tensor total;
+  if (rank_ == 0) {
+    total = all[0].clone();
+    for (int r = 1; r < size(); ++r) {
+      total = ops::add(total, all[static_cast<std::size_t>(r)]);
+    }
+  }
+  return bcast(total.defined() ? total : Tensor({1}), 0);
+}
+
+void Communicator::barrier(int root) {
+  gather(Tensor({1}), root);
+  bcast(Tensor({1}), root);
+}
+
+}  // namespace teamnet::mpi

@@ -1,0 +1,48 @@
+// Message-passing runtime: a from-scratch MPI-flavoured communicator built
+// on the net::Channel abstraction (DESIGN.md §1.1 — substitutes OpenMPI).
+//
+// Each rank runs on its own thread with point-to-point channels to every
+// peer. Collectives use linear algorithms rooted at a configurable root;
+// over simulated channels every byte lands on the virtual clock, so the
+// per-layer chattiness of the MPI baselines is accounted exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace teamnet::mpi {
+
+class Communicator {
+ public:
+  /// `peers[r]` is this rank's channel to rank r (nullptr at index `rank`).
+  Communicator(int rank, std::vector<net::Channel*> peers);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(peers_.size()); }
+
+  // ---- point to point -------------------------------------------------------
+  void send(int to, const net::Message& msg);
+  net::Message recv(int from);
+
+  // ---- collectives (all ranks must call; linear algorithms) ----------------
+  /// Root's tensor is copied to every rank.
+  Tensor bcast(const Tensor& t, int root);
+  /// Root receives all ranks' tensors ordered by rank (root's own included);
+  /// non-roots get an empty vector.
+  std::vector<Tensor> gather(const Tensor& t, int root);
+  /// Every rank receives all ranks' tensors ordered by rank.
+  std::vector<Tensor> allgather(const Tensor& t);
+  /// Elementwise sum of all ranks' tensors, result on every rank.
+  Tensor allreduce_sum(const Tensor& t);
+  /// Synchronization point (zero-payload gather + bcast through `root`).
+  void barrier(int root = 0);
+
+ private:
+  int rank_;
+  std::vector<net::Channel*> peers_;
+};
+
+}  // namespace teamnet::mpi

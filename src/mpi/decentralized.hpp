@@ -1,0 +1,32 @@
+// Decentralized result selection (paper §III): instead of a designated
+// master gathering every expert's output (Figure 1 steps 4-5), all nodes
+// exchange compact (prediction, uncertainty) summaries and each determines
+// the winner locally — no coordinator, every node ends up with the final
+// answer. This is the "done distributedly" alternative the paper sketches
+// via leader election; an allgather of summaries achieves the same
+// agreement deterministically.
+#pragma once
+
+#include "mpi/communicator.hpp"
+#include "net/collab.hpp"
+#include "nn/module.hpp"
+
+namespace teamnet::mpi {
+
+struct DecentralizedResult {
+  std::vector<int> predictions;  ///< final class per sample (same on all ranks)
+  std::vector<int> winner;       ///< winning rank per sample (same on all ranks)
+  Tensor entropy;                ///< [n, world] all ranks' uncertainties
+};
+
+/// Every rank calls this with the same input batch (the sensing rank has
+/// broadcast it beforehand). Each rank runs its local expert, allgathers
+/// per-sample (argmax class, predictive entropy) summary rows — not the
+/// full probability tensors — and selects the least-uncertain rank's
+/// prediction. All ranks return identical results.
+DecentralizedResult decentralized_infer(Communicator& comm,
+                                        nn::Module& local_expert,
+                                        const Tensor& x,
+                                        const net::ComputeHook& on_compute = {});
+
+}  // namespace teamnet::mpi

@@ -1,0 +1,163 @@
+#include "net/collab.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/entropy.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::net {
+
+namespace {
+
+std::int64_t batch_flops(nn::Module& model, const Tensor& x) {
+  Shape sample_shape(x.shape().begin() + 1, x.shape().end());
+  return model.analyze(sample_shape).flops * x.dim(0);
+}
+
+/// Local expert evaluation: probabilities + per-sample entropy.
+std::pair<Tensor, Tensor> evaluate(nn::Module& expert, const Tensor& x) {
+  Tensor probs = ops::softmax_rows(expert.predict(x));
+  Tensor entropy = core::predictive_entropy(probs);
+  return {std::move(probs), std::move(entropy)};
+}
+
+}  // namespace
+
+CollaborativeWorker::CollaborativeWorker(nn::Module& expert, Channel& channel)
+    : expert_(expert), channel_(channel) {
+  expert_.set_training(false);
+}
+
+void CollaborativeWorker::serve() {
+  for (;;) {
+    Message request = Message::decode(channel_.recv());
+    if (request.type == MsgType::Shutdown) return;
+    TEAMNET_CHECK_MSG(request.type == MsgType::Infer,
+                      "worker got unexpected message type "
+                          << static_cast<int>(request.type));
+    TEAMNET_CHECK(request.tensors.size() == 1);
+    const Tensor& x = request.tensors[0];
+
+    if (on_compute_) on_compute_(batch_flops(expert_, x));
+    auto [probs, entropy] = evaluate(expert_, x);
+
+    Message reply;
+    reply.type = MsgType::Result;
+    reply.tensors = {std::move(probs), std::move(entropy)};
+    channel_.send(reply.encode());
+    ++served_;
+  }
+}
+
+CollaborativeMaster::CollaborativeMaster(nn::Module& local_expert,
+                                         std::vector<Channel*> workers)
+    : expert_(local_expert),
+      workers_(std::move(workers)),
+      failed_(workers_.size(), false) {
+  expert_.set_training(false);
+  for (auto* w : workers_) TEAMNET_CHECK(w != nullptr);
+}
+
+int CollaborativeMaster::failed_workers() const {
+  return static_cast<int>(std::count(failed_.begin(), failed_.end(), true));
+}
+
+CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
+  TEAMNET_CHECK(x.rank() >= 2);
+  const std::int64_t n = x.dim(0);
+
+  // Step 2: broadcast the sensor data to every live worker. Channel errors
+  // mark the worker failed rather than aborting the query.
+  Message request;
+  request.type = MsgType::Infer;
+  request.tensors = {x};
+  const std::string encoded = request.encode();
+  std::vector<bool> asked(workers_.size(), false);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (failed_[w]) continue;
+    try {
+      workers_[w]->send(encoded);
+      asked[w] = true;
+    } catch (const Error& e) {
+      LOG_WARN("worker " << w + 1 << " failed on send: " << e.what());
+      failed_[w] = true;
+    }
+  }
+
+  // Step 3 (local share): the master evaluates its own expert while the
+  // workers evaluate theirs.
+  if (on_compute_) on_compute_(batch_flops(expert_, x));
+  auto [local_probs, local_entropy] = evaluate(expert_, x);
+
+  // Step 4: gather whatever answers arrive; slow or broken workers are
+  // marked failed and the selection proceeds without them.
+  std::vector<Tensor> all_probs = {std::move(local_probs)};
+  std::vector<Tensor> all_entropy = {std::move(local_entropy)};
+  std::vector<int> node_of = {0};
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!asked[w]) continue;
+    try {
+      std::string raw;
+      if (worker_timeout_s_ > 0.0) {
+        auto maybe = workers_[w]->recv_timeout(worker_timeout_s_);
+        if (!maybe) {
+          LOG_WARN("worker " << w + 1 << " timed out after "
+                             << worker_timeout_s_ << "s; marking failed");
+          failed_[w] = true;
+          continue;
+        }
+        raw = std::move(*maybe);
+      } else {
+        raw = workers_[w]->recv();
+      }
+      Message reply = Message::decode(raw);
+      TEAMNET_CHECK(reply.type == MsgType::Result && reply.tensors.size() == 2);
+      all_probs.push_back(std::move(reply.tensors[0]));
+      all_entropy.push_back(std::move(reply.tensors[1]));
+      node_of.push_back(static_cast<int>(w) + 1);
+    } catch (const Error& e) {
+      LOG_WARN("worker " << w + 1 << " failed on recv: " << e.what());
+      failed_[w] = true;
+    }
+  }
+
+  // Step 5: per sample, the least-uncertain answering node wins.
+  const int answered = static_cast<int>(all_probs.size());
+  const std::int64_t c = all_probs[0].dim(1);
+  Result result;
+  result.probs = Tensor({n, c});
+  result.chosen.resize(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    int winner = 0;
+    float best = all_entropy[0][r];
+    for (int i = 1; i < answered; ++i) {
+      if (all_entropy[static_cast<std::size_t>(i)][r] < best) {
+        best = all_entropy[static_cast<std::size_t>(i)][r];
+        winner = i;
+      }
+    }
+    result.chosen[static_cast<std::size_t>(r)] =
+        node_of[static_cast<std::size_t>(winner)];
+    const float* src = all_probs[static_cast<std::size_t>(winner)].data() + r * c;
+    std::copy(src, src + c, result.probs.data() + r * c);
+  }
+  result.predictions = ops::argmax_rows(result.probs);
+  return result;
+}
+
+void CollaborativeMaster::shutdown() {
+  Message msg;
+  msg.type = MsgType::Shutdown;
+  const std::string encoded = msg.encode();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (failed_[w]) continue;
+    try {
+      workers_[w]->send(encoded);
+    } catch (const Error& e) {
+      LOG_WARN("worker " << w + 1 << " failed on shutdown: " << e.what());
+    }
+  }
+}
+
+}  // namespace teamnet::net

@@ -1,0 +1,88 @@
+// The collaborative-inference protocol of Figure 1:
+//   Step 1  master receives sensor data
+//   Step 2  master broadcasts the input to every worker
+//   Step 3  all nodes run their local expert in parallel
+//   Step 4  master gathers each worker's (probabilities, entropy)
+//   Step 5  master selects the least-uncertain expert's output
+//
+// The same classes run over any Channel implementation: real TCP in the
+// examples, simulated WiFi channels in the benches. The optional compute
+// hook reports each node's FLOP count so a simulation can advance its
+// virtual clock; real deployments leave it unset.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/transport.hpp"
+#include "nn/module.hpp"
+
+namespace teamnet::net {
+
+using ComputeHook = std::function<void(std::int64_t flops)>;
+
+/// Serves one expert model on one channel until a Shutdown message.
+class CollaborativeWorker {
+ public:
+  CollaborativeWorker(nn::Module& expert, Channel& channel);
+
+  /// Blocks, answering Infer requests until Shutdown. Throws NetworkError
+  /// on a broken channel.
+  void serve();
+
+  void set_compute_hook(ComputeHook hook) { on_compute_ = std::move(hook); }
+
+  /// Number of Infer requests answered (telemetry).
+  std::int64_t requests_served() const { return served_; }
+
+ private:
+  nn::Module& expert_;
+  Channel& channel_;
+  ComputeHook on_compute_;
+  std::int64_t served_ = 0;
+};
+
+/// The master edge node: owns a local expert plus channels to the workers.
+class CollaborativeMaster {
+ public:
+  CollaborativeMaster(nn::Module& local_expert, std::vector<Channel*> workers);
+
+  struct Result {
+    Tensor probs;                  ///< [n, C] winning expert's probabilities
+    std::vector<int> predictions;  ///< argmax class per sample
+    std::vector<int> chosen;       ///< winning node (0 = master, 1.. = workers)
+  };
+
+  /// Runs Figure 1's five steps for a batch of inputs. Workers that have
+  /// been marked failed are skipped; the selection runs over whichever
+  /// nodes answered (degraded but available — the master alone in the
+  /// worst case).
+  Result infer(const Tensor& x);
+
+  /// Sends Shutdown to every live worker.
+  void shutdown();
+
+  void set_compute_hook(ComputeHook hook) { on_compute_ = std::move(hook); }
+
+  /// Fault tolerance: when > 0, a worker that does not answer within
+  /// `seconds` of real time (or whose channel errors) is marked failed and
+  /// excluded from subsequent queries. 0 (default) = block forever.
+  void set_worker_timeout(double seconds) { worker_timeout_s_ = seconds; }
+
+  int num_nodes() const { return 1 + static_cast<int>(workers_.size()); }
+  /// Workers currently marked failed.
+  int failed_workers() const;
+  bool worker_alive(int worker_index) const {
+    return !failed_[static_cast<std::size_t>(worker_index)];
+  }
+
+ private:
+  nn::Module& expert_;
+  std::vector<Channel*> workers_;
+  std::vector<bool> failed_;
+  double worker_timeout_s_ = 0.0;
+  ComputeHook on_compute_;
+};
+
+}  // namespace teamnet::net

@@ -1,0 +1,41 @@
+// Wire message: a small typed envelope carrying tensors and integers.
+//
+// Encoding (little-endian):
+//   u32 type | u32 n_ints | i64 ints[] | u32 n_tensors | tensor[] (nn format)
+// The byte string produced here is what flows through every Channel
+// implementation (in-proc, TCP, simulated), so byte counts seen by the
+// virtual clock equal real serialized sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace teamnet::net {
+
+/// Protocol message types for the collaborative-inference protocol
+/// (Figure 1) and the message-passing runtime.
+enum class MsgType : std::uint32_t {
+  Infer = 1,       ///< master -> worker: input tensor broadcast (Step 2)
+  Result = 2,      ///< worker -> master: probs + entropy (Step 4)
+  Shutdown = 3,    ///< master -> worker: terminate the serving loop
+  Weights = 4,     ///< model deployment: serialized expert parameters
+  Collective = 5,  ///< payload of an MPI-style collective
+  Ack = 6,
+};
+
+struct Message {
+  MsgType type = MsgType::Ack;
+  std::vector<std::int64_t> ints;
+  std::vector<Tensor> tensors;
+
+  std::string encode() const;
+  static Message decode(const std::string& bytes);
+
+  /// Serialized size in bytes without materializing the string.
+  std::int64_t encoded_size() const;
+};
+
+}  // namespace teamnet::net

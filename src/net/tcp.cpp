@@ -1,0 +1,160 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace teamnet::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetworkError(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) throw_errno("send");
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void recv_all(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n == 0) throw NetworkError("peer closed connection");
+    if (n < 0) throw_errno("recv");
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Length-prefixed framing over a connected socket.
+class TcpChannel final : public Channel {
+  std::string recv_body(const char header[8]) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, header, sizeof(len));
+    if (len > (1ull << 32)) throw NetworkError("implausible frame length");
+    std::string bytes(len, '\0');
+    recv_all(fd_, bytes.data(), bytes.size());
+    return bytes;
+  }
+
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TcpChannel() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(std::string bytes) override {
+    const std::uint64_t len = bytes.size();
+    char header[8];
+    std::memcpy(header, &len, sizeof(len));
+    send_all(fd_, header, sizeof(header));
+    send_all(fd_, bytes.data(), bytes.size());
+  }
+
+  std::string recv() override {
+    char header[8];
+    recv_all(fd_, header, sizeof(header));
+    return recv_body(header);
+  }
+
+  std::optional<std::string> recv_timeout(double seconds) override {
+    // Arm SO_RCVTIMEO for the frame header only; once a header arrives the
+    // body is assumed to follow promptly (sender writes frames atomically).
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char header[8];
+    const ssize_t n = ::recv(fd_, header, sizeof(header), MSG_PEEK);
+    timeval off{};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof(off));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return std::nullopt;
+    }
+    if (n == 0) throw NetworkError("peer closed connection");
+    if (n < 0) throw_errno("recv");
+    return recv();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    throw_errno("listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ChannelPtr TcpListener::accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) throw_errno("accept");
+  return std::make_unique<TcpChannel>(client);
+}
+
+ChannelPtr tcp_connect(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetworkError("bad address: " + host);
+  }
+
+  // Retry briefly: workers often dial before the master's listener is up.
+  constexpr int kAttempts = 50;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return std::make_unique<TcpChannel>(fd);
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  throw NetworkError("connect to " + host + ":" + std::to_string(port) +
+                     " failed after retries");
+}
+
+}  // namespace teamnet::net

@@ -1,0 +1,39 @@
+// Real TCP sockets with length-prefixed framing — the transport the paper
+// used between edge boards ("communication among the edge devices is done
+// through TCP sockets over WiFi"). The examples run master and workers as
+// separate threads/processes talking over loopback; the same code would
+// connect boards over a LAN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace teamnet::net {
+
+/// RAII wrapper over a listening socket.
+class TcpListener {
+ public:
+  /// Binds to 127.0.0.1:`port`; port 0 picks a free port (see port()).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks until a peer connects and returns the channel.
+  ChannelPtr accept();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `host`:`port` (retrying briefly while the listener comes up)
+/// and returns the channel.
+ChannelPtr tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace teamnet::net

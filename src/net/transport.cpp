@@ -1,0 +1,144 @@
+#include "net/transport.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace teamnet::net {
+
+namespace {
+
+/// One direction of an in-process pipe.
+struct ByteQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> messages;
+
+  void push(std::string bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      messages.push_back(std::move(bytes));
+    }
+    cv.notify_one();
+  }
+
+  std::string pop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return !messages.empty(); });
+    std::string bytes = std::move(messages.front());
+    messages.pop_front();
+    return bytes;
+  }
+
+  std::optional<std::string> pop_timeout(double seconds) {
+    std::unique_lock<std::mutex> lock(mutex);
+    const bool got = cv.wait_for(
+        lock, std::chrono::duration<double>(seconds),
+        [this] { return !messages.empty(); });
+    if (!got) return std::nullopt;
+    std::string bytes = std::move(messages.front());
+    messages.pop_front();
+    return bytes;
+  }
+};
+
+class InProcChannel final : public Channel {
+ public:
+  InProcChannel(std::shared_ptr<ByteQueue> out, std::shared_ptr<ByteQueue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  void send(std::string bytes) override { out_->push(std::move(bytes)); }
+  std::string recv() override { return in_->pop(); }
+  std::optional<std::string> recv_timeout(double seconds) override {
+    return in_->pop_timeout(seconds);
+  }
+
+ private:
+  std::shared_ptr<ByteQueue> out_;
+  std::shared_ptr<ByteQueue> in_;
+};
+
+class SimChannel final : public Channel {
+ public:
+  SimChannel(ChannelPtr inner, VirtualClock& clock, int self, int peer,
+             LinkProfile link)
+      : inner_(std::move(inner)),
+        clock_(clock),
+        self_(self),
+        peer_(peer),
+        link_(link) {}
+
+  void send(std::string bytes) override {
+    // Prefix the sender's virtual timestamp so the receiving endpoint can
+    // model the link delay relative to when the message actually left.
+    const double now = clock_.node_time(self_);
+    std::string stamped;
+    stamped.reserve(bytes.size() + sizeof(double));
+    stamped.append(reinterpret_cast<const char*>(&now), sizeof(double));
+    stamped += bytes;
+    inner_->send(std::move(stamped));
+  }
+
+  std::string recv() override {
+    std::string stamped = inner_->recv();
+    return unstamp(std::move(stamped));
+  }
+
+  std::optional<std::string> recv_timeout(double seconds) override {
+    auto stamped = inner_->recv_timeout(seconds);
+    if (!stamped) return std::nullopt;
+    return unstamp(std::move(*stamped));
+  }
+
+ private:
+  std::string unstamp(std::string stamped) {
+    TEAMNET_CHECK(stamped.size() >= sizeof(double));
+    double send_time = 0.0;
+    std::memcpy(&send_time, stamped.data(), sizeof(double));
+    const auto payload_bytes =
+        static_cast<std::int64_t>(stamped.size() - sizeof(double));
+    clock_.deliver(self_, send_time, payload_bytes, link_);
+    return stamped.substr(sizeof(double));
+  }
+
+  ChannelPtr inner_;
+  VirtualClock& clock_;
+  int self_;
+  int peer_;
+  LinkProfile link_;
+};
+
+}  // namespace
+
+std::pair<ChannelPtr, ChannelPtr> make_inproc_pair() {
+  auto a_to_b = std::make_shared<ByteQueue>();
+  auto b_to_a = std::make_shared<ByteQueue>();
+  return {std::make_unique<InProcChannel>(a_to_b, b_to_a),
+          std::make_unique<InProcChannel>(b_to_a, a_to_b)};
+}
+
+ChannelPtr make_sim_channel(ChannelPtr inner, VirtualClock& clock, int self,
+                            int peer, LinkProfile link) {
+  TEAMNET_CHECK(inner != nullptr);
+  return std::make_unique<SimChannel>(std::move(inner), clock, self, peer, link);
+}
+
+std::vector<std::vector<ChannelPtr>> make_sim_mesh(int n, VirtualClock& clock,
+                                                   const LinkProfile& link) {
+  TEAMNET_CHECK(n >= 1 && clock.num_nodes() >= n);
+  std::vector<std::vector<ChannelPtr>> mesh(static_cast<std::size_t>(n));
+  for (auto& row : mesh) row.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      auto [a, b] = make_inproc_pair();
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          make_sim_channel(std::move(a), clock, i, j, link);
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          make_sim_channel(std::move(b), clock, j, i, link);
+    }
+  }
+  return mesh;
+}
+
+}  // namespace teamnet::net

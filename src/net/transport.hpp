@@ -1,0 +1,59 @@
+// Channel abstraction: blocking, bidirectional, message-oriented byte pipes.
+//
+// Three implementations share one interface so the collaborative protocol
+// and the MPI-style runtime run unchanged over:
+//   * InProc      — lock-free-enough in-process queues (tests, examples)
+//   * TCP         — real sockets (examples; see tcp.hpp)
+//   * Sim         — an InProc pair wrapped with virtual-clock accounting:
+//                   every send stamps the sender's virtual time, every recv
+//                   charges link latency + serialization delay (benches)
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "net/virtual_clock.hpp"
+
+namespace teamnet::net {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Enqueues one message (blocking implementations may block on flow
+  /// control; in-proc never blocks).
+  virtual void send(std::string bytes) = 0;
+  /// Blocks until a message is available and returns it.
+  virtual std::string recv() = 0;
+  /// Like recv but gives up after `seconds` of REAL time, returning
+  /// nullopt. The fault-tolerant master uses this to survive dead or
+  /// wedged workers. Default: plain blocking recv (no timeout support).
+  virtual std::optional<std::string> recv_timeout(double seconds) {
+    (void)seconds;
+    return recv();
+  }
+};
+
+using ChannelPtr = std::unique_ptr<Channel>;
+
+/// Creates a connected in-process channel pair: bytes sent on `first` are
+/// received on `second` and vice versa.
+std::pair<ChannelPtr, ChannelPtr> make_inproc_pair();
+
+/// Wraps `inner` with virtual-time accounting for one direction-pair:
+/// this endpoint is simulated node `self`, the peer is node `peer`.
+/// Each sent message is prefixed with the sender's virtual timestamp; each
+/// received message advances the receiver's clock by the link model.
+ChannelPtr make_sim_channel(ChannelPtr inner, VirtualClock& clock, int self,
+                            int peer, LinkProfile link);
+
+/// Creates a fully connected simulated mesh of `n` nodes over in-process
+/// pairs. mesh[i][j] is node i's channel to node j (nullptr for i == j).
+std::vector<std::vector<ChannelPtr>> make_sim_mesh(int n, VirtualClock& clock,
+                                                   const LinkProfile& link);
+
+}  // namespace teamnet::net

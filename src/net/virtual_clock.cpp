@@ -1,0 +1,71 @@
+#include "net/virtual_clock.hpp"
+
+#include <algorithm>
+
+namespace teamnet::net {
+
+LinkProfile wifi_link() {
+  // Effective single-hop WiFi figures between two edge boards on the same
+  // AP: ~0.6 ms one-way latency, ~40 Mbit/s goodput.
+  return LinkProfile{0.0006, 40e6, 0.0};
+}
+
+VirtualClock::VirtualClock(int num_nodes) {
+  TEAMNET_CHECK(num_nodes > 0);
+  times_.assign(static_cast<std::size_t>(num_nodes), 0.0);
+}
+
+double VirtualClock::node_time(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TEAMNET_CHECK(node >= 0 && node < num_nodes());
+  return times_[static_cast<std::size_t>(node)];
+}
+
+double VirtualClock::advance(int node, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TEAMNET_CHECK(node >= 0 && node < num_nodes());
+  TEAMNET_CHECK_MSG(seconds >= 0.0, "cannot advance time backwards");
+  return times_[static_cast<std::size_t>(node)] += seconds;
+}
+
+double VirtualClock::deliver(int to, double send_time, std::int64_t bytes,
+                             const LinkProfile& link) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TEAMNET_CHECK(to >= 0 && to < num_nodes());
+  // Airtime (overhead + serialization) occupies the shared medium;
+  // propagation latency does not.
+  const double airtime = link.transfer_time(bytes) - link.latency_s;
+  const double start = std::max(send_time, medium_free_);
+  medium_free_ = start + airtime;
+  const double arrival = start + airtime + link.latency_s;
+  auto& t = times_[static_cast<std::size_t>(to)];
+  t = std::max(t, arrival);
+  bytes_ += bytes;
+  ++messages_;
+  return t;
+}
+
+double VirtualClock::max_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *std::max_element(times_.begin(), times_.end());
+}
+
+void VirtualClock::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(times_.begin(), times_.end(), 0.0);
+  medium_free_ = 0.0;
+  bytes_ = 0;
+  messages_ = 0;
+}
+
+std::int64_t VirtualClock::bytes_delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::int64_t VirtualClock::messages_delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_;
+}
+
+}  // namespace teamnet::net

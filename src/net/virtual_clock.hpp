@@ -1,0 +1,81 @@
+// Virtual time for the edge-network simulation.
+//
+// Every simulated node owns a clock; local computation advances one node's
+// clock, and message transfers impose latency + serialization delay and
+// order the receiver after the sender (Lamport-style max). All bench
+// latencies come from this clock — no wall-clock sleeps anywhere.
+//
+// Thread-safe: simulated nodes run on real threads (the same code paths as
+// the real TCP deployment) and stamp their virtual send times onto
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace teamnet::net {
+
+/// A point-to-point link's timing model (e.g. WiFi between edge boards).
+struct LinkProfile {
+  double latency_s = 0.0;        ///< fixed per-message cost (propagation + stack)
+  double bandwidth_bps = 0.0;    ///< bits per second; 0 means infinite
+  double per_message_overhead_s = 0.0;  ///< protocol cost (RPC marshalling etc.)
+
+  /// Seconds to deliver `bytes` over this link.
+  double transfer_time(std::int64_t bytes) const {
+    TEAMNET_CHECK(bytes >= 0);
+    double t = latency_s + per_message_overhead_s;
+    if (bandwidth_bps > 0.0) {
+      t += static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    }
+    return t;
+  }
+};
+
+/// Canonical WiFi link between edge devices (calibrated in sim/calibration).
+LinkProfile wifi_link();
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(times_.size()); }
+
+  /// Current virtual time of `node` in seconds.
+  double node_time(int node) const;
+
+  /// Advances `node` by `seconds` of local work; returns the new time.
+  double advance(int node, double seconds);
+
+  /// Records a message delivery over the shared wireless medium. WiFi on a
+  /// single AP is half-duplex: concurrent transmissions contend and
+  /// serialize, so the transmission starts at max(send_time, medium_free)
+  /// and occupies the medium for its overhead + serialization time. The
+  /// receiver's clock becomes max(receiver_now, start + duration + latency).
+  /// Returns the arrival time.
+  double deliver(int to, double send_time, std::int64_t bytes,
+                 const LinkProfile& link);
+
+  /// Largest node clock — the makespan of the simulated run.
+  double max_time() const;
+
+  /// Resets all clocks to zero.
+  void reset();
+
+  /// Total bytes delivered so far (telemetry).
+  std::int64_t bytes_delivered() const;
+  /// Total messages delivered so far (telemetry).
+  std::int64_t messages_delivered() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> times_;
+  double medium_free_ = 0.0;  ///< when the shared wireless medium frees up
+  std::int64_t bytes_ = 0;
+  std::int64_t messages_ = 0;
+};
+
+}  // namespace teamnet::net

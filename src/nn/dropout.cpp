@@ -1,0 +1,30 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+#include "tensor/ops.hpp"
+
+namespace teamnet::nn {
+
+Dropout::Dropout(float drop_probability, Rng rng)
+    : p_(drop_probability), rng_(rng) {
+  TEAMNET_CHECK_MSG(p_ >= 0.0f && p_ < 1.0f, "drop probability in [0, 1)");
+}
+
+ag::Var Dropout::forward(const ag::Var& input) {
+  if (!training_ || p_ == 0.0f) return input;
+  const float keep = 1.0f - p_;
+  Tensor mask(input.value().shape());
+  for (auto& m : mask.values()) {
+    m = rng_.uniform(0.0f, 1.0f) < keep ? 1.0f / keep : 0.0f;
+  }
+  return ag::mul(input, ag::constant(std::move(mask)));
+}
+
+std::string Dropout::name() const {
+  std::ostringstream os;
+  os << "Dropout(" << p_ << ")";
+  return os.str();
+}
+
+}  // namespace teamnet::nn

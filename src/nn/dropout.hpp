@@ -1,0 +1,28 @@
+// Inverted dropout: training-mode activations are zeroed with probability p
+// and survivors scaled by 1/(1-p), so eval mode is the identity. Useful for
+// regularizing the larger expert configurations.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace teamnet::nn {
+
+class Dropout : public Module {
+ public:
+  explicit Dropout(float drop_probability, Rng rng = Rng(0xd20b));
+
+  ag::Var forward(const ag::Var& input) override;
+  Analysis analyze(const Shape& input_shape) const override {
+    return {input_shape, shape_numel(input_shape)};
+  }
+  std::string name() const override;
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+}  // namespace teamnet::nn

@@ -1,0 +1,73 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/im2col.hpp"
+
+namespace teamnet::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  TEAMNET_CHECK(in_features > 0 && out_features > 0);
+  // He initialization: suits the ReLU activations used throughout.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = ag::Var(Tensor::randn({in_, out_}, rng, 0.0f, stddev), true);
+  bias_ = ag::Var(Tensor::zeros({1, out_}), true);
+}
+
+ag::Var Linear::forward(const ag::Var& input) {
+  return ag::add(ag::matmul(input, weight_), bias_);
+}
+
+Analysis Linear::analyze(const Shape& input_shape) const {
+  TEAMNET_CHECK_MSG(input_shape.size() == 1 && input_shape[0] == in_,
+                    "Linear expects per-sample shape [" << in_ << "], got "
+                                                        << shape_to_string(input_shape));
+  return {{out_}, 2 * in_ * out_};
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "Linear(" << in_ << "->" << out_ << ")";
+  return os.str();
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  TEAMNET_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 &&
+                pad >= 0);
+  const std::int64_t fan_in = cin_ * kernel_ * kernel_;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight_ = ag::Var(Tensor::randn({fan_in, cout_}, rng, 0.0f, stddev), true);
+  bias_ = ag::Var(Tensor::zeros({cout_}), true);
+}
+
+ag::Var Conv2d::forward(const ag::Var& input) {
+  return ag::conv2d(input, weight_, bias_, kernel_, stride_, pad_);
+}
+
+Analysis Conv2d::analyze(const Shape& input_shape) const {
+  TEAMNET_CHECK_MSG(input_shape.size() == 3 && input_shape[0] == cin_,
+                    "Conv2d expects per-sample [C,H,W] with C=" << cin_
+                        << ", got " << shape_to_string(input_shape));
+  const std::int64_t ho = conv_out_dim(input_shape[1], kernel_, stride_, pad_);
+  const std::int64_t wo = conv_out_dim(input_shape[2], kernel_, stride_, pad_);
+  const std::int64_t flops = 2 * cin_ * kernel_ * kernel_ * cout_ * ho * wo;
+  return {{cout_, ho, wo}, flops};
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream os;
+  os << "Conv2d(" << cin_ << "->" << cout_ << ", k=" << kernel_
+     << ", s=" << stride_ << ", p=" << pad_ << ")";
+  return os.str();
+}
+
+}  // namespace teamnet::nn

@@ -1,0 +1,103 @@
+// Basic layers: Linear, Conv2d, activations, Flatten.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace teamnet::nn {
+
+/// Fully connected layer: y = x W + b, x is [N, in].
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  ag::Var forward(const ag::Var& input) override;
+  std::vector<ag::Var> parameters() override { return {weight_, bias_}; }
+  Analysis analyze(const Shape& input_shape) const override;
+  std::string name() const override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  ag::Var& weight() { return weight_; }
+  ag::Var& bias() { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  ag::Var weight_;  ///< [in, out]
+  ag::Var bias_;    ///< [1, out]
+};
+
+/// 2-D convolution over NCHW inputs; weight stored as [Cin*k*k, Cout] so the
+/// forward pass is a single im2col + GEMM.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad, Rng& rng);
+
+  ag::Var forward(const ag::Var& input) override;
+  std::vector<ag::Var> parameters() override { return {weight_, bias_}; }
+  Analysis analyze(const Shape& input_shape) const override;
+  std::string name() const override;
+
+  std::int64_t in_channels() const { return cin_; }
+  std::int64_t out_channels() const { return cout_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  ag::Var& weight() { return weight_; }
+  ag::Var& bias() { return bias_; }
+
+ private:
+  std::int64_t cin_, cout_, kernel_, stride_, pad_;
+  ag::Var weight_;  ///< [Cin*k*k, Cout]
+  ag::Var bias_;    ///< [Cout]
+};
+
+class ReLU : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override { return ag::relu(input); }
+  Analysis analyze(const Shape& input_shape) const override {
+    return {input_shape, shape_numel(input_shape)};
+  }
+  std::string name() const override { return "ReLU"; }
+};
+
+class Tanh : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override { return ag::tanh(input); }
+  Analysis analyze(const Shape& input_shape) const override {
+    return {input_shape, shape_numel(input_shape)};
+  }
+  std::string name() const override { return "Tanh"; }
+};
+
+/// [N, C, H, W] (or any rank >= 2) -> [N, prod(rest)].
+class Flatten : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override {
+    const std::int64_t n = input.value().dim(0);
+    return ag::reshape(input, {n, -1});
+  }
+  Analysis analyze(const Shape& input_shape) const override {
+    return {{shape_numel(input_shape)}, 0};
+  }
+  std::string name() const override { return "Flatten"; }
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  ag::Var forward(const ag::Var& input) override {
+    return ag::global_avg_pool(input);
+  }
+  Analysis analyze(const Shape& input_shape) const override {
+    TEAMNET_CHECK(input_shape.size() == 3);
+    return {{input_shape[0]}, shape_numel(input_shape)};
+  }
+  std::string name() const override { return "GlobalAvgPool"; }
+};
+
+}  // namespace teamnet::nn

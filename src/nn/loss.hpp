@@ -1,0 +1,31 @@
+// Classification losses and metrics.
+#pragma once
+
+#include <vector>
+
+#include "tensor/autograd.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::nn {
+
+/// Mean cross-entropy between raw logits [N, C] and integer labels
+/// (Algorithm 3's objective sum_c y log f(x; theta)).
+inline ag::Var cross_entropy_loss(const ag::Var& logits,
+                                  const std::vector<int>& labels) {
+  return ag::nll_loss(ag::log_softmax_rows(logits), labels);
+}
+
+/// Fraction of rows whose argmax matches the label.
+inline double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  TEAMNET_CHECK(logits.dim(0) == static_cast<std::int64_t>(labels.size()));
+  const auto predictions = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+}  // namespace teamnet::nn

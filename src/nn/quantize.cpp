@@ -1,0 +1,118 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace teamnet::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'N', 'Q', '1'};
+
+template <typename T>
+void write_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::string& in, std::size_t& offset) {
+  if (offset + sizeof(T) > in.size()) {
+    throw SerializationError("truncated quantized stream");
+  }
+  T value{};
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+QuantizedTensor quantize(const Tensor& t) {
+  TEAMNET_CHECK(t.defined() && t.numel() > 0);
+  QuantizedTensor q;
+  q.shape = t.shape();
+  float lo = t[0], hi = t[0];
+  for (float v : t.values()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  q.min = lo;
+  q.scale = (hi - lo) / 255.0f;
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  if (q.scale <= 0.0f) {
+    q.scale = 0.0f;  // constant tensor: all zeros decode to `min`
+    return q;
+  }
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float normalized = (t[i] - lo) / q.scale;
+    q.data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(normalized), 0L, 255L));
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  TEAMNET_CHECK(static_cast<std::int64_t>(q.data.size()) == t.numel());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = q.min + q.scale * static_cast<float>(q.data[static_cast<std::size_t>(i)]);
+  }
+  return t;
+}
+
+std::string serialize_parameters_quantized(Module& module) {
+  const std::vector<Tensor> tensors = snapshot_parameters(module);
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(out, tensors.size());
+  for (const Tensor& t : tensors) {
+    const QuantizedTensor q = quantize(t);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(q.shape.size()));
+    for (std::int64_t d : q.shape) write_pod<std::int64_t>(out, d);
+    write_pod<float>(out, q.min);
+    write_pod<float>(out, q.scale);
+    out.append(reinterpret_cast<const char*>(q.data.data()), q.data.size());
+  }
+  return out;
+}
+
+void deserialize_parameters_quantized(const std::string& bytes, Module& module) {
+  std::size_t offset = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError("bad magic — not a quantized TeamNet snapshot");
+  }
+  offset += sizeof(kMagic);
+  const auto count = read_pod<std::uint64_t>(bytes, offset);
+  if (count > (1u << 20)) throw SerializationError("implausible tensor count");
+
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    QuantizedTensor q;
+    const auto rank = read_pod<std::uint32_t>(bytes, offset);
+    if (rank > 8) throw SerializationError("implausible tensor rank");
+    q.shape.resize(rank);
+    for (auto& d : q.shape) {
+      d = read_pod<std::int64_t>(bytes, offset);
+      if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
+    }
+    q.min = read_pod<float>(bytes, offset);
+    q.scale = read_pod<float>(bytes, offset);
+    const auto n = static_cast<std::size_t>(q.numel());
+    if (offset + n > bytes.size()) {
+      throw SerializationError("truncated quantized data");
+    }
+    q.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    offset += n;
+    tensors.push_back(dequantize(q));
+  }
+  restore_parameters(module, tensors);
+}
+
+}  // namespace teamnet::nn

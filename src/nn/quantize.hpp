@@ -1,0 +1,39 @@
+// Per-tensor affine uint8 quantization for shipping expert weights to edge
+// devices: ~4x smaller transfers at a bounded reconstruction error. Used by
+// deployments where the WiFi link, not accuracy, is the constraint.
+//
+// Wire format (little-endian):
+//   magic "TNQ1" | u64 tensor_count |
+//   per tensor: u32 rank | i64 dims[rank] | f32 min | f32 scale | u8 data[]
+// where value = min + scale * q.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace teamnet::nn {
+
+struct QuantizedTensor {
+  Shape shape;
+  float min = 0.0f;
+  float scale = 0.0f;  ///< (max - min) / 255; 0 for constant tensors
+  std::vector<std::uint8_t> data;
+
+  std::int64_t numel() const { return shape_numel(shape); }
+};
+
+/// Quantizes to 8 bits; max absolute reconstruction error is scale / 2.
+QuantizedTensor quantize(const Tensor& t);
+Tensor dequantize(const QuantizedTensor& q);
+
+/// Full module state (parameters + buffers) as a quantized byte string.
+std::string serialize_parameters_quantized(Module& module);
+
+/// Restores a quantized snapshot into the module (counts/shapes must match).
+void deserialize_parameters_quantized(const std::string& bytes, Module& module);
+
+}  // namespace teamnet::nn

@@ -1,0 +1,40 @@
+// Learning-rate schedules. A schedule maps the completed-epoch count to a
+// multiplier on the base learning rate; `apply` mutates an optimizer's
+// config between epochs.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace teamnet::nn {
+
+/// lr(epoch) = base * multiplier(epoch); multiplier(0) should be 1.
+using LrSchedule = std::function<float(int epoch)>;
+
+/// Constant learning rate (the default behaviour).
+inline LrSchedule constant_schedule() {
+  return [](int) { return 1.0f; };
+}
+
+/// Multiplies the rate by `factor` every `period` epochs.
+inline LrSchedule step_decay(int period, float factor) {
+  TEAMNET_CHECK(period >= 1 && factor > 0.0f && factor <= 1.0f);
+  return [period, factor](int epoch) {
+    return std::pow(factor, static_cast<float>(epoch / period));
+  };
+}
+
+/// Half-cosine from 1 down to `floor` over `total_epochs`.
+inline LrSchedule cosine_decay(int total_epochs, float floor = 0.0f) {
+  TEAMNET_CHECK(total_epochs >= 1 && floor >= 0.0f && floor <= 1.0f);
+  return [total_epochs, floor](int epoch) {
+    const float t =
+        std::min(1.0f, static_cast<float>(epoch) /
+                           static_cast<float>(total_epochs));
+    return floor + (1.0f - floor) * 0.5f * (1.0f + std::cos(t * 3.14159265f));
+  };
+}
+
+}  // namespace teamnet::nn

@@ -1,0 +1,76 @@
+// Ordered container of modules; also the unit the MPI baselines partition.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace teamnet::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Constructs a layer in place and appends it.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto layer = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void append(ModulePtr layer) { layers_.push_back(std::move(layer)); }
+
+  ag::Var forward(const ag::Var& input) override {
+    ag::Var h = input;
+    for (auto& layer : layers_) h = layer->forward(h);
+    return h;
+  }
+
+  std::vector<ag::Var> parameters() override {
+    std::vector<ag::Var> params;
+    for (auto& layer : layers_) {
+      auto sub = layer->parameters();
+      params.insert(params.end(), sub.begin(), sub.end());
+    }
+    return params;
+  }
+
+  std::vector<Tensor*> buffers() override {
+    std::vector<Tensor*> all;
+    for (auto& layer : layers_) {
+      auto sub = layer->buffers();
+      all.insert(all.end(), sub.begin(), sub.end());
+    }
+    return all;
+  }
+
+  Analysis analyze(const Shape& input_shape) const override {
+    Analysis total{input_shape, 0};
+    for (const auto& layer : layers_) {
+      Analysis a = layer->analyze(total.output_shape);
+      total.output_shape = a.output_shape;
+      total.flops += a.flops;
+    }
+    return total;
+  }
+
+  void set_training(bool training) override {
+    Module::set_training(training);
+    for (auto& layer : layers_) layer->set_training(training);
+  }
+
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+  const Module& layer(std::size_t i) const { return *layers_.at(i); }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace teamnet::nn

@@ -1,0 +1,133 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace teamnet::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'N', 'E', 'T'};
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw SerializationError("truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+  for (std::int64_t d = 0; d < t.rank(); ++d) write_pod<std::int64_t>(os, t.dim(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!os) throw SerializationError("tensor write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = read_pod<std::uint32_t>(is);
+  if (rank > 8) throw SerializationError("implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(is);
+    if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw SerializationError("truncated tensor data");
+  return t;
+}
+
+void save_tensors(std::ostream& os, const std::vector<Tensor>& tensors) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(os, kVersion);
+  write_pod<std::uint64_t>(os, tensors.size());
+  for (const auto& t : tensors) write_tensor(os, t);
+}
+
+std::vector<Tensor> load_tensors(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw SerializationError("bad magic — not a TeamNet checkpoint");
+  }
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw SerializationError("unsupported checkpoint version " +
+                             std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count > (1u << 20)) throw SerializationError("implausible tensor count");
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) tensors.push_back(read_tensor(is));
+  return tensors;
+}
+
+std::vector<Tensor> snapshot_parameters(Module& module) {
+  std::vector<Tensor> values;
+  for (const auto& p : module.parameters()) values.push_back(p.value().clone());
+  // Non-trainable state (batch-norm running stats) follows the parameters.
+  for (const Tensor* b : module.buffers()) values.push_back(b->clone());
+  return values;
+}
+
+void restore_parameters(Module& module, const std::vector<Tensor>& values) {
+  auto params = module.parameters();
+  auto buffers = module.buffers();
+  TEAMNET_CHECK_MSG(params.size() + buffers.size() == values.size(),
+                    "tensor count mismatch: module has "
+                        << params.size() << " params + " << buffers.size()
+                        << " buffers, checkpoint has " << values.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    TEAMNET_CHECK_MSG(params[i].value().shape() == values[i].shape(),
+                      "parameter " << i << " shape mismatch");
+    std::memcpy(params[i].mutable_value().data(), values[i].data(),
+                static_cast<std::size_t>(values[i].numel()) * sizeof(float));
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const Tensor& src = values[params.size() + i];
+    TEAMNET_CHECK_MSG(buffers[i]->shape() == src.shape(),
+                      "buffer " << i << " shape mismatch");
+    std::memcpy(buffers[i]->data(), src.data(),
+                static_cast<std::size_t>(src.numel()) * sizeof(float));
+  }
+}
+
+void save_module(const std::string& path, Module& module) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SerializationError("cannot open for write: " + path);
+  save_tensors(os, snapshot_parameters(module));
+}
+
+void load_module(const std::string& path, Module& module) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SerializationError("cannot open for read: " + path);
+  restore_parameters(module, load_tensors(is));
+}
+
+std::string serialize_parameters(Module& module) {
+  std::ostringstream os(std::ios::binary);
+  save_tensors(os, snapshot_parameters(module));
+  return os.str();
+}
+
+void deserialize_parameters(const std::string& bytes, Module& module) {
+  std::istringstream is(bytes, std::ios::binary);
+  restore_parameters(module, load_tensors(is));
+}
+
+}  // namespace teamnet::nn

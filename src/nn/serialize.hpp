@@ -1,0 +1,43 @@
+// Binary (de)serialization of tensors and module parameters.
+//
+// Format (little-endian):
+//   magic "TNET" | u32 version | u64 tensor_count |
+//   per tensor: u32 rank | i64 dims[rank] | f32 data[numel]
+//
+// Used for model checkpoints and for shipping expert weights to edge
+// workers over the socket layer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace teamnet::nn {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Serializes all tensors in order.
+void save_tensors(std::ostream& os, const std::vector<Tensor>& tensors);
+std::vector<Tensor> load_tensors(std::istream& is);
+
+/// Snapshot of a module's full state: parameters() followed by buffers()
+/// (batch-norm running statistics etc.), all deep copies.
+std::vector<Tensor> snapshot_parameters(Module& module);
+
+/// Copies `values` back into the module's parameters and buffers; counts
+/// and shapes must match.
+void restore_parameters(Module& module, const std::vector<Tensor>& values);
+
+/// File-based convenience wrappers.
+void save_module(const std::string& path, Module& module);
+void load_module(const std::string& path, Module& module);
+
+/// In-memory round trip (used by the network layer to ship weights).
+std::string serialize_parameters(Module& module);
+void deserialize_parameters(const std::string& bytes, Module& module);
+
+}  // namespace teamnet::nn

@@ -1,0 +1,195 @@
+#include "nn/shake_shake.hpp"
+
+#include <sstream>
+
+namespace teamnet::nn {
+
+namespace {
+
+std::unique_ptr<Sequential> make_branch(std::int64_t cin, std::int64_t cout,
+                                        std::int64_t stride, Rng& rng) {
+  auto branch = std::make_unique<Sequential>();
+  branch->emplace<Conv2d>(cin, cout, 3, stride, 1, rng);
+  branch->emplace<BatchNorm>(cout);
+  branch->emplace<ReLU>();
+  branch->emplace<Conv2d>(cout, cout, 3, 1, 1, rng);
+  branch->emplace<BatchNorm>(cout);
+  return branch;
+}
+
+}  // namespace
+
+ShakeBlock::ShakeBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng)
+    : stride_(stride), shake_rng_(rng.fork(0xb10c)) {
+  branch0_ = make_branch(in_channels, out_channels, stride, rng);
+  branch1_ = make_branch(in_channels, out_channels, stride, rng);
+  if (in_channels != out_channels || stride != 1) {
+    skip_ = std::make_unique<Sequential>();
+    skip_->emplace<Conv2d>(in_channels, out_channels, 1, stride, 0, rng);
+    skip_->emplace<BatchNorm>(out_channels);
+  }
+}
+
+ag::Var ShakeBlock::forward_branch(int b, const ag::Var& input) {
+  TEAMNET_CHECK(b == 0 || b == 1);
+  return branch(b).forward(input);
+}
+
+ag::Var ShakeBlock::forward_skip(const ag::Var& input) {
+  return skip_ ? skip_->forward(input) : input;
+}
+
+ag::Var ShakeBlock::combine(const ag::Var& branch0, const ag::Var& branch1,
+                            const ag::Var& skip) {
+  // Deterministic equal mix — the eval-time rule.
+  ag::Var mixed = ag::shake_combine(branch0, branch1, 0.5f, 0.5f);
+  return ag::relu(ag::add(mixed, skip));
+}
+
+ag::Var ShakeBlock::forward(const ag::Var& input) {
+  ag::Var b0 = branch0_->forward(input);
+  ag::Var b1 = branch1_->forward(input);
+  ag::Var skip = forward_skip(input);
+  float alpha = 0.5f, beta = 0.5f;
+  if (training_) {
+    alpha = shake_rng_.uniform(0.0f, 1.0f);
+    beta = shake_rng_.uniform(0.0f, 1.0f);
+  }
+  ag::Var mixed = ag::shake_combine(b0, b1, alpha, beta);
+  return ag::relu(ag::add(mixed, skip));
+}
+
+std::vector<ag::Var> ShakeBlock::parameters() {
+  std::vector<ag::Var> params = branch0_->parameters();
+  auto p1 = branch1_->parameters();
+  params.insert(params.end(), p1.begin(), p1.end());
+  if (skip_) {
+    auto ps = skip_->parameters();
+    params.insert(params.end(), ps.begin(), ps.end());
+  }
+  return params;
+}
+
+std::vector<Tensor*> ShakeBlock::buffers() {
+  std::vector<Tensor*> all = branch0_->buffers();
+  auto b1 = branch1_->buffers();
+  all.insert(all.end(), b1.begin(), b1.end());
+  if (skip_) {
+    auto bs = skip_->buffers();
+    all.insert(all.end(), bs.begin(), bs.end());
+  }
+  return all;
+}
+
+Analysis ShakeBlock::analyze(const Shape& input_shape) const {
+  Analysis b0 = branch0_->analyze(input_shape);
+  Analysis b1 = branch1_->analyze(input_shape);
+  std::int64_t flops = b0.flops + b1.flops;
+  if (skip_) flops += skip_->analyze(input_shape).flops;
+  flops += 3 * shape_numel(b0.output_shape);  // mix + add + relu
+  return {b0.output_shape, flops};
+}
+
+std::int64_t ShakeBlock::branch_flops(const Shape& input_shape) const {
+  return branch0_->analyze(input_shape).flops;
+}
+
+void ShakeBlock::set_training(bool training) {
+  Module::set_training(training);
+  branch0_->set_training(training);
+  branch1_->set_training(training);
+  if (skip_) skip_->set_training(training);
+}
+
+std::int64_t ShakeShakeNet::blocks_for_depth(std::int64_t depth) {
+  // depth = 1 (stem conv) + 2 * blocks (two convs per block path) + 1 (fc)
+  TEAMNET_CHECK_MSG(depth >= 4 && (depth - 2) % 2 == 0,
+                    "Shake-Shake depth must be even and >= 4, got " << depth);
+  return (depth - 2) / 2;
+}
+
+ShakeShakeNet::ShakeShakeNet(const ShakeShakeConfig& config, Rng& rng)
+    : config_(config) {
+  const std::int64_t total_blocks = blocks_for_depth(config.depth);
+  // Split blocks across two stages; stage 2 doubles channels and halves the
+  // spatial resolution via its first (strided) block.
+  const std::int64_t stage1 = (total_blocks + 1) / 2;
+  const std::int64_t stage2 = total_blocks - stage1;
+
+  stem_ = std::make_unique<Sequential>();
+  stem_->emplace<Conv2d>(config.in_channels, config.base_channels, 3, 1, 1, rng);
+  stem_->emplace<BatchNorm>(config.base_channels);
+  stem_->emplace<ReLU>();
+
+  std::int64_t channels = config.base_channels;
+  for (std::int64_t i = 0; i < stage1; ++i) {
+    blocks_.push_back(std::make_unique<ShakeBlock>(channels, channels, 1, rng));
+  }
+  for (std::int64_t i = 0; i < stage2; ++i) {
+    const std::int64_t out = 2 * config.base_channels;
+    const std::int64_t stride = (i == 0) ? 2 : 1;
+    blocks_.push_back(std::make_unique<ShakeBlock>(channels, out, stride, rng));
+    channels = out;
+  }
+
+  head_ = std::make_unique<Sequential>();
+  head_->emplace<GlobalAvgPool>();
+  head_->emplace<Linear>(channels, config.num_classes, rng);
+}
+
+ag::Var ShakeShakeNet::forward(const ag::Var& input) {
+  ag::Var h = stem_->forward(input);
+  for (auto& block : blocks_) h = block->forward(h);
+  return head_->forward(h);
+}
+
+std::vector<ag::Var> ShakeShakeNet::parameters() {
+  std::vector<ag::Var> params = stem_->parameters();
+  for (auto& block : blocks_) {
+    auto bp = block->parameters();
+    params.insert(params.end(), bp.begin(), bp.end());
+  }
+  auto hp = head_->parameters();
+  params.insert(params.end(), hp.begin(), hp.end());
+  return params;
+}
+
+std::vector<Tensor*> ShakeShakeNet::buffers() {
+  std::vector<Tensor*> all = stem_->buffers();
+  for (auto& block : blocks_) {
+    auto bb = block->buffers();
+    all.insert(all.end(), bb.begin(), bb.end());
+  }
+  auto hb = head_->buffers();
+  all.insert(all.end(), hb.begin(), hb.end());
+  return all;
+}
+
+Analysis ShakeShakeNet::analyze(const Shape& input_shape) const {
+  Analysis total = stem_->analyze(input_shape);
+  for (const auto& block : blocks_) {
+    Analysis a = block->analyze(total.output_shape);
+    total.output_shape = a.output_shape;
+    total.flops += a.flops;
+  }
+  Analysis head = head_->analyze(total.output_shape);
+  total.output_shape = head.output_shape;
+  total.flops += head.flops;
+  return total;
+}
+
+void ShakeShakeNet::set_training(bool training) {
+  Module::set_training(training);
+  stem_->set_training(training);
+  for (auto& block : blocks_) block->set_training(training);
+  head_->set_training(training);
+}
+
+std::string ShakeShakeNet::name() const {
+  std::ostringstream os;
+  os << "SS-" << config_.depth;
+  return os.str();
+}
+
+}  // namespace teamnet::nn

@@ -1,0 +1,43 @@
+#include "sim/device.hpp"
+
+namespace teamnet::sim {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+DeviceProfile jetson_tx2_cpu() {
+  DeviceProfile d;
+  d.name = "jetson-tx2-cpu";
+  // Calibrated: MLP-8 (hidden 256, ~1.2 MFLOP) -> ~3.4 ms (Table I(a)).
+  d.flops_per_s = 350e6;
+  d.memory_bytes = static_cast<std::int64_t>(8.0 * kGiB);
+  d.runtime_overhead_bytes = 0.35 * kGiB;  // TF + CUDA libs resident
+  d.max_utilization = 95.0;
+  return d;
+}
+
+DeviceProfile jetson_tx2_gpu() {
+  DeviceProfile d = jetson_tx2_cpu();
+  d.name = "jetson-tx2-gpu";
+  // Paper Table I: MNIST baseline drops 3.4 ms -> 0.3 ms on the GPU.
+  d.flops_per_s = 4.0e9;
+  d.uses_gpu = true;
+  d.gpu_max_utilization = 40.0;        // small models leave the GPU idle-ish
+  d.cpu_orchestration_share = 0.45;    // CPU% per unit of GPU busy fraction
+  d.max_utilization = 40.0;
+  d.runtime_overhead_bytes = 0.6 * kGiB;  // CUDA context on top of TF
+  return d;
+}
+
+DeviceProfile raspberry_pi_3b() {
+  DeviceProfile d;
+  d.name = "raspberry-pi-3b+";
+  d.flops_per_s = 90e6;  // ~4x slower than the Jetson CPU path
+  d.memory_bytes = static_cast<std::int64_t>(1.0 * kGiB);
+  d.runtime_overhead_bytes = 0.18 * kGiB;
+  d.max_utilization = 95.0;
+  return d;
+}
+
+}  // namespace teamnet::sim

@@ -1,0 +1,43 @@
+// Edge-device profiles (DESIGN.md §1.1 substitution for the physical
+// Jetson TX2 / Raspberry Pi testbed).
+//
+// Each profile is an *effective* inference throughput — FLOP/s as observed
+// through the paper's TensorFlow runtime, not peak silicon numbers — plus
+// memory and utilization characteristics used by the resource model. The
+// Jetson-CPU throughput is calibrated so the MLP-8 baseline lands near the
+// paper's 3.4 ms (Table I(a)); the other profiles keep the paper's
+// relative ordering (GPU ~11x CPU, RPi ~4x slower than Jetson CPU).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace teamnet::sim {
+
+struct DeviceProfile {
+  std::string name;
+  double flops_per_s = 0.0;        ///< effective tensor throughput
+  std::int64_t memory_bytes = 0;   ///< total RAM
+  double runtime_overhead_bytes = 0.0;  ///< resident ML-framework footprint
+  double max_utilization = 1.0;    ///< CPU% reported when fully busy
+  bool uses_gpu = false;           ///< tensor math runs on the GPU
+  double gpu_max_utilization = 0.0;
+  double cpu_orchestration_share = 0.0;  ///< CPU% per unit of GPU busy time
+
+  /// Seconds to execute `flops` of tensor math on this device.
+  double compute_time(std::int64_t flops) const {
+    TEAMNET_CHECK(flops >= 0 && flops_per_s > 0.0);
+    return static_cast<double>(flops) / flops_per_s;
+  }
+};
+
+/// Jetson TX2 running inference on its ARM cores only (Tables I(a), II(a)).
+DeviceProfile jetson_tx2_cpu();
+/// Jetson TX2 with CUDA offload (Tables I(b), II(b)).
+DeviceProfile jetson_tx2_gpu();
+/// Raspberry Pi 3 Model B+ (Figure 5).
+DeviceProfile raspberry_pi_3b();
+
+}  // namespace teamnet::sim

@@ -1,0 +1,33 @@
+// Resource-usage model: translates a node's model footprint and busy
+// fraction into the memory/CPU/GPU percentages the paper's tables report.
+//
+// Memory% = (framework overhead + weights + working buffers) / device RAM.
+// CPU%/GPU% scale the device's calibrated full-load utilization by the
+// node's busy fraction (compute time / wall time per query): a node that
+// spends most of a query waiting on WiFi shows low utilization — exactly
+// the effect that makes TeamNet nodes cooler than the baseline in Table I.
+#pragma once
+
+#include "nn/module.hpp"
+#include "sim/device.hpp"
+
+namespace teamnet::sim {
+
+struct ResourceUsage {
+  double memory_pct = 0.0;
+  double cpu_pct = 0.0;
+  double gpu_pct = 0.0;
+};
+
+/// Working-set estimate for a model in bytes: weights + gradient-free
+/// activation buffers (approximated as 3x the weights plus the I/O tensors).
+std::int64_t model_working_set_bytes(nn::Module& model,
+                                     const Shape& sample_shape);
+
+/// `busy_fraction` is compute seconds / total seconds for one query on this
+/// node, in [0, 1].
+ResourceUsage estimate_resources(const DeviceProfile& device,
+                                 std::int64_t working_set_bytes,
+                                 double busy_fraction);
+
+}  // namespace teamnet::sim

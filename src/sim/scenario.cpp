@@ -1,0 +1,332 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/entropy.hpp"
+#include "moe/moe_serving.hpp"
+#include "mpi/partitioned.hpp"
+#include "net/collab.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::sim {
+
+namespace {
+
+/// Picks `n` query rows from the test set (deterministic per seed).
+std::vector<int> sample_queries(const data::Dataset& test, int n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  for (auto& r : rows) r = rng.randint(0, static_cast<int>(test.size()) - 1);
+  return rows;
+}
+
+/// One-sample batch for query `row`.
+Tensor query_tensor(const data::Dataset& test, int row) {
+  return ops::take_rows(test.images, {row});
+}
+
+/// Compute hook that advances `node`'s virtual clock on `device` and tracks
+/// that node's total compute seconds.
+net::ComputeHook make_hook(net::VirtualClock& clock, int node,
+                           const DeviceProfile& device,
+                           std::atomic<double>* compute_total) {
+  return [&clock, node, &device, compute_total](std::int64_t flops) {
+    const double seconds = device.compute_time(flops);
+    clock.advance(node, seconds);
+    if (compute_total != nullptr) {
+      double expected = compute_total->load();
+      while (!compute_total->compare_exchange_weak(expected,
+                                                   expected + seconds)) {
+      }
+    }
+  };
+}
+
+double model_accuracy_pct(nn::Module& model, const data::Dataset& test) {
+  model.set_training(false);
+  return 100.0 * nn::accuracy(model.predict(test.images), test.labels);
+}
+
+}  // namespace
+
+ScenarioResult run_baseline(nn::Module& model, const data::Dataset& test,
+                            const ScenarioConfig& config) {
+  model.set_training(false);
+  const Shape sample_shape = test.sample_shape();
+  const std::int64_t flops = model.analyze(sample_shape).flops;
+
+  ScenarioResult result;
+  result.approach = "Baseline(" + model.name() + ")";
+  result.num_nodes = 1;
+  result.latency_ms = 1e3 * config.device.compute_time(flops);
+  result.accuracy_pct = model_accuracy_pct(model, test);
+  result.usage = estimate_resources(
+      config.device, model_working_set_bytes(model, sample_shape),
+      /*busy_fraction=*/1.0);
+  return result;
+}
+
+ScenarioResult run_teamnet(const std::vector<nn::Module*>& experts,
+                           const data::Dataset& test,
+                           const ScenarioConfig& config) {
+  return run_teamnet_heterogeneous(
+      experts,
+      std::vector<DeviceProfile>(experts.size(), config.device), test,
+      config);
+}
+
+ScenarioResult run_teamnet_heterogeneous(
+    const std::vector<nn::Module*>& experts,
+    const std::vector<DeviceProfile>& devices, const data::Dataset& test,
+    const ScenarioConfig& config) {
+  TEAMNET_CHECK(experts.size() >= 2 && devices.size() == experts.size());
+  const int k = static_cast<int>(experts.size());
+  net::VirtualClock clock(k);
+  auto mesh = net::make_sim_mesh(k, clock, config.link);
+
+  std::atomic<double> master_compute{0.0};
+  // Workers 1..k-1 serve their experts on their own device profiles.
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
+  for (int i = 1; i < k; ++i) {
+    workers.push_back(std::make_unique<net::CollaborativeWorker>(
+        *experts[static_cast<std::size_t>(i)],
+        *mesh[static_cast<std::size_t>(i)][0]));
+    workers.back()->set_compute_hook(
+        make_hook(clock, i, devices[static_cast<std::size_t>(i)], nullptr));
+    threads.emplace_back([w = workers.back().get()] { w->serve(); });
+  }
+
+  std::vector<net::Channel*> worker_channels;
+  for (int i = 1; i < k; ++i) {
+    worker_channels.push_back(mesh[0][static_cast<std::size_t>(i)].get());
+  }
+  net::CollaborativeMaster master(*experts[0], worker_channels);
+  master.set_compute_hook(make_hook(clock, 0, devices[0], &master_compute));
+
+  const auto queries = sample_queries(test, config.num_queries, config.seed);
+  double total_latency = 0.0;
+  std::size_t correct = 0;
+  const std::int64_t bytes_before = clock.bytes_delivered();
+  const std::int64_t msgs_before = clock.messages_delivered();
+  for (int row : queries) {
+    const double t0 = clock.node_time(0);
+    auto res = master.infer(query_tensor(test, row));
+    total_latency += clock.node_time(0) - t0;
+    if (res.predictions[0] == test.labels[static_cast<std::size_t>(row)]) {
+      ++correct;
+    }
+  }
+  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+  master.shutdown();
+  for (auto& t : threads) t.join();
+
+  ScenarioResult result;
+  result.approach = "TeamNet";
+  result.num_nodes = k;
+  result.latency_ms = 1e3 * total_latency / config.num_queries;
+  // Accuracy over the full test set via the same argmin-entropy rule the
+  // protocol applies (protocol equivalence is covered by tests).
+  {
+    Tensor entropy({test.size(), k});
+    std::vector<Tensor> probs(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      probs[static_cast<std::size_t>(i)] = ops::softmax_rows(
+          experts[static_cast<std::size_t>(i)]->predict(test.images));
+      Tensor h = core::predictive_entropy(probs[static_cast<std::size_t>(i)]);
+      for (std::int64_t r = 0; r < test.size(); ++r) {
+        entropy[r * k + i] = h[r];
+      }
+    }
+    const auto chosen = ops::argmin_rows(entropy);
+    std::size_t ok = 0;
+    for (std::int64_t r = 0; r < test.size(); ++r) {
+      const Tensor& p = probs[static_cast<std::size_t>(chosen[
+          static_cast<std::size_t>(r)])];
+      const float* row = p.data() + r * p.dim(1);
+      const int pred = static_cast<int>(
+          std::max_element(row, row + p.dim(1)) - row);
+      if (pred == test.labels[static_cast<std::size_t>(r)]) ++ok;
+    }
+    result.accuracy_pct =
+        100.0 * static_cast<double>(ok) / static_cast<double>(test.size());
+  }
+  result.usage = estimate_resources(
+      devices[0], model_working_set_bytes(*experts[0], test.sample_shape()),
+      master_compute.load() / total_latency);
+  result.bytes_per_query = static_cast<double>(bytes_used) / config.num_queries;
+  result.messages_per_query =
+      static_cast<double>(msgs_used) / config.num_queries;
+  return result;
+}
+
+namespace {
+
+/// Shared runner for the MPI executors: spins `num_nodes` rank threads.
+/// Each rank builds its executor once via `make_runner(comm, hook)` and
+/// then, per query, receives the input bcast from rank 0 and runs it.
+template <typename MakeRunner>
+ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
+                               const data::Dataset& test,
+                               const ScenarioConfig& config,
+                               nn::Module& model_for_metrics,
+                               MakeRunner make_runner) {
+  model_for_metrics.set_training(false);  // before any rank thread starts
+  net::VirtualClock clock(num_nodes);
+  auto mesh = net::make_sim_mesh(num_nodes, clock, config.link);
+
+  const auto queries = sample_queries(test, config.num_queries, config.seed);
+  std::atomic<double> rank0_compute{0.0};
+
+  auto rank_main = [&](int rank) {
+    std::vector<net::Channel*> peers(static_cast<std::size_t>(num_nodes),
+                                     nullptr);
+    for (int r = 0; r < num_nodes; ++r) {
+      if (r != rank) {
+        peers[static_cast<std::size_t>(r)] =
+            mesh[static_cast<std::size_t>(rank)][static_cast<std::size_t>(r)]
+                .get();
+      }
+    }
+    mpi::Communicator comm(rank, peers);
+    net::ComputeHook hook = make_hook(clock, rank, config.device,
+                                      rank == 0 ? &rank0_compute : nullptr);
+    auto run_query = make_runner(comm, hook);
+    for (int row : queries) {
+      Tensor x;
+      if (rank == 0) x = query_tensor(test, row);
+      x = comm.bcast(x.defined() ? x : Tensor({1}), 0);
+      run_query(x);
+    }
+  };
+
+  const std::int64_t bytes_before = clock.bytes_delivered();
+  const std::int64_t msgs_before = clock.messages_delivered();
+  const double t0 = clock.node_time(0);
+  std::vector<std::thread> threads;
+  for (int r = 1; r < num_nodes; ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  rank_main(0);
+  for (auto& t : threads) t.join();
+  const double total_latency = clock.node_time(0) - t0;
+
+  ScenarioResult result;
+  result.approach = approach;
+  result.num_nodes = num_nodes;
+  result.latency_ms = 1e3 * total_latency / config.num_queries;
+  result.accuracy_pct = model_accuracy_pct(model_for_metrics, test);
+  const double share = 1.0 / num_nodes;  // rank 0 holds 1/K of the weights
+  result.usage = estimate_resources(
+      config.device,
+      static_cast<std::int64_t>(
+          share * static_cast<double>(model_working_set_bytes(
+                      model_for_metrics, test.sample_shape()))),
+      rank0_compute.load() / total_latency);
+  result.bytes_per_query =
+      static_cast<double>(clock.bytes_delivered() - bytes_before) /
+      config.num_queries;
+  result.messages_per_query =
+      static_cast<double>(clock.messages_delivered() - msgs_before) /
+      config.num_queries;
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_mpi_matrix(nn::MlpNet& model, const data::Dataset& test,
+                              const ScenarioConfig& config, int num_nodes) {
+  return run_mpi_generic(
+      "MPI-Matrix", num_nodes, test, config, model,
+      [&model](mpi::Communicator& comm, const net::ComputeHook& hook) {
+        return [executor = std::make_shared<mpi::MpiMatrixMlp>(model, comm,
+                                                               hook)](
+                   const Tensor& x) { executor->infer(x); };
+      });
+}
+
+ScenarioResult run_mpi_kernel(nn::ShakeShakeNet& model,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config, int num_nodes) {
+  return run_mpi_generic(
+      "MPI-Kernel", num_nodes, test, config, model,
+      [&model](mpi::Communicator& comm, const net::ComputeHook& hook) {
+        return [executor = std::make_shared<mpi::MpiKernelShakeShake>(
+                    model, comm, hook)](const Tensor& x) {
+          executor->infer(x);
+        };
+      });
+}
+
+ScenarioResult run_mpi_branch(nn::ShakeShakeNet& model,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config) {
+  return run_mpi_generic(
+      "MPI-Branch", 2, test, config, model,
+      [&model](mpi::Communicator& comm, const net::ComputeHook& hook) {
+        return [executor = std::make_shared<mpi::MpiBranchShakeShake>(
+                    model, comm, hook)](const Tensor& x) {
+          executor->infer(x);
+        };
+      });
+}
+
+ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
+                          const ScenarioConfig& config) {
+  const int k = model.num_experts();
+  net::VirtualClock clock(k);
+  auto mesh = net::make_sim_mesh(k, clock, config.link);
+
+  std::atomic<double> master_compute{0.0};
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
+  for (int i = 1; i < k; ++i) {
+    workers.push_back(std::make_unique<net::CollaborativeWorker>(
+        model.expert(i), *mesh[static_cast<std::size_t>(i)][0]));
+    workers.back()->set_compute_hook(
+        make_hook(clock, i, config.device, nullptr));
+    threads.emplace_back([w = workers.back().get()] { w->serve(); });
+  }
+
+  std::vector<net::Channel*> worker_channels;
+  for (int i = 1; i < k; ++i) {
+    worker_channels.push_back(mesh[0][static_cast<std::size_t>(i)].get());
+  }
+  moe::MoeMaster master(model, worker_channels);
+  master.set_compute_hook(make_hook(clock, 0, config.device, &master_compute));
+
+  const auto queries = sample_queries(test, config.num_queries, config.seed);
+  double total_latency = 0.0;
+  const std::int64_t bytes_before = clock.bytes_delivered();
+  const std::int64_t msgs_before = clock.messages_delivered();
+  for (int row : queries) {
+    const double t0 = clock.node_time(0);
+    master.infer(query_tensor(test, row));
+    total_latency += clock.node_time(0) - t0;
+  }
+  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+  master.shutdown();
+  for (auto& t : threads) t.join();
+
+  ScenarioResult result;
+  result.approach = "SG-MoE";
+  result.num_nodes = k;
+  result.latency_ms = 1e3 * total_latency / config.num_queries;
+  result.accuracy_pct = 100.0 * model.evaluate_accuracy(test);
+  result.usage = estimate_resources(
+      config.device,
+      model_working_set_bytes(model.expert(0), test.sample_shape()),
+      master_compute.load() / total_latency);
+  result.bytes_per_query = static_cast<double>(bytes_used) / config.num_queries;
+  result.messages_per_query =
+      static_cast<double>(msgs_used) / config.num_queries;
+  return result;
+}
+
+}  // namespace teamnet::sim

@@ -1,0 +1,82 @@
+// Scenario drivers: run each approach's real protocol over simulated WiFi
+// channels between simulated edge devices and report the paper's metrics
+// (per-query latency, accuracy, memory/CPU/GPU usage, traffic).
+//
+// Every scenario executes the genuine distributed code path — the same
+// CollaborativeMaster/Worker, Communicator and partitioned executors that
+// run over real TCP in the examples — on real threads with in-process
+// channels. Latency is virtual time: compute advances a node's clock by
+// FLOPs / device throughput, messages advance the receiver by the WiFi
+// link model. Queries are issued sequentially with batch size 1, matching
+// the paper's per-inference measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "moe/sg_moe.hpp"
+#include "nn/mlp.hpp"
+#include "nn/shake_shake.hpp"
+#include "sim/calibration.hpp"
+#include "sim/device.hpp"
+#include "sim/resource.hpp"
+
+namespace teamnet::sim {
+
+struct ScenarioConfig {
+  DeviceProfile device = jetson_tx2_cpu();
+  net::LinkProfile link = socket_link();
+  int num_queries = 40;    ///< latency-measurement queries (batch 1 each)
+  std::uint64_t seed = 123;
+};
+
+struct ScenarioResult {
+  std::string approach;
+  int num_nodes = 1;
+  double latency_ms = 0.0;        ///< mean per-query latency (virtual)
+  double accuracy_pct = 0.0;      ///< test accuracy of the approach's model
+  ResourceUsage usage;            ///< master/rank-0 node
+  double bytes_per_query = 0.0;
+  double messages_per_query = 0.0;
+};
+
+/// Single edge node running the full model locally — the Baseline column.
+ScenarioResult run_baseline(nn::Module& model, const data::Dataset& test,
+                            const ScenarioConfig& config);
+
+/// TeamNet: one expert per node, Figure 1's broadcast/gather protocol.
+/// `experts` are non-owning; experts.size() = number of nodes.
+ScenarioResult run_teamnet(const std::vector<nn::Module*>& experts,
+                           const data::Dataset& test,
+                           const ScenarioConfig& config);
+
+/// Heterogeneous fleet variant: node i runs on devices[i] (sizes must
+/// match). Latency is gated by the slowest node per query, so matching
+/// expert size to device capacity (capacity-weighted training, DESIGN.md
+/// §2.1 #6) directly shortens the critical path.
+ScenarioResult run_teamnet_heterogeneous(
+    const std::vector<nn::Module*>& experts,
+    const std::vector<DeviceProfile>& devices, const data::Dataset& test,
+    const ScenarioConfig& config);
+
+/// MPI-Matrix over an MLP, row-partitioned across `num_nodes` ranks.
+ScenarioResult run_mpi_matrix(nn::MlpNet& model, const data::Dataset& test,
+                              const ScenarioConfig& config, int num_nodes);
+
+/// MPI-Kernel over a Shake-Shake CNN across `num_nodes` ranks.
+ScenarioResult run_mpi_kernel(nn::ShakeShakeNet& model,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config, int num_nodes);
+
+/// MPI-Branch over a Shake-Shake CNN (exactly 2 ranks).
+ScenarioResult run_mpi_branch(nn::ShakeShakeNet& model,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config);
+
+/// Distributed SG-MoE: gate + expert 0 on the master, one expert per worker
+/// node. The link (gRPC vs MPI flavour) comes from `config.link`.
+ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
+                          const ScenarioConfig& config);
+
+}  // namespace teamnet::sim

@@ -1,0 +1,26 @@
+// Single-precision GEMM kernels. Small, cache-blocked, dependency-free —
+// enough throughput for the downsized models in this reproduction while the
+// FLOP accounting (src/sim) models the edge devices' real throughput.
+#pragma once
+
+#include <cstdint>
+
+namespace teamnet {
+
+/// C[m,n] += A[m,k] * B[k,n]  (row-major, C must be pre-initialized).
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+/// C[m,n] = A[m,k] * B[k,n]  (row-major; C is overwritten).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+/// C[m,n] += A^T * B where A is [k,m], B is [k,n].
+void gemm_tn_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                        std::int64_t k, std::int64_t n);
+
+/// C[m,n] += A * B^T where A is [m,k], B is [n,k].
+void gemm_nt_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                        std::int64_t k, std::int64_t n);
+
+}  // namespace teamnet

@@ -1,0 +1,85 @@
+#include "tensor/im2col.hpp"
+
+namespace teamnet {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad) {
+  const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  TEAMNET_CHECK_MSG(out > 0, "conv output dim <= 0 (in=" << in << " k=" << kernel
+                                                         << " s=" << stride
+                                                         << " p=" << pad << ")");
+  return out;
+}
+
+Tensor im2col(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+              std::int64_t pad) {
+  TEAMNET_CHECK(input.rank() == 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t ho = conv_out_dim(h, kernel, stride, pad);
+  const std::int64_t wo = conv_out_dim(w, kernel, stride, pad);
+  Tensor cols({n * ho * wo, c * kernel * kernel});
+
+  const float* in = input.data();
+  float* out = cols.data();
+  const std::int64_t row_len = c * kernel * kernel;
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        float* row = out + ((img * ho + oy) * wo + ox) * row_len;
+        std::int64_t idx = 0;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = in + (img * c + ch) * h * w;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride + ky - pad;
+            for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
+              const std::int64_t ix = ox * stride + kx - pad;
+              row[idx] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? plane[iy * w + ix]
+                             : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape, std::int64_t kernel,
+              std::int64_t stride, std::int64_t pad) {
+  TEAMNET_CHECK(cols.rank() == 2 && input_shape.size() == 4);
+  const std::int64_t n = input_shape[0], c = input_shape[1], h = input_shape[2],
+                     w = input_shape[3];
+  const std::int64_t ho = conv_out_dim(h, kernel, stride, pad);
+  const std::int64_t wo = conv_out_dim(w, kernel, stride, pad);
+  TEAMNET_CHECK(cols.dim(0) == n * ho * wo && cols.dim(1) == c * kernel * kernel);
+
+  Tensor image(input_shape);
+  const float* in = cols.data();
+  float* out = image.data();
+  const std::int64_t row_len = c * kernel * kernel;
+  for (std::int64_t img = 0; img < n; ++img) {
+    for (std::int64_t oy = 0; oy < ho; ++oy) {
+      for (std::int64_t ox = 0; ox < wo; ++ox) {
+        const float* row = in + ((img * ho + oy) * wo + ox) * row_len;
+        std::int64_t idx = 0;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          float* plane = out + (img * c + ch) * h * w;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride + ky - pad;
+            for (std::int64_t kx = 0; kx < kernel; ++kx, ++idx) {
+              const std::int64_t ix = ox * stride + kx - pad;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[iy * w + ix] += row[idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace teamnet

@@ -1,0 +1,25 @@
+// im2col / col2im transforms: convolution is lowered to GEMM, which is how
+// the Conv2d autograd op computes both forward and backward passes.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace teamnet {
+
+/// Output spatial size of a convolution along one axis.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad);
+
+/// Unfolds input [N, C, H, W] into columns [N * Hout * Wout, C * k * k].
+/// Each output row holds one receptive field; zero padding is materialized.
+Tensor im2col(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+              std::int64_t pad);
+
+/// Folds columns [N * Hout * Wout, C * k * k] back into an image gradient of
+/// shape [N, C, H, W], accumulating overlapping patches (adjoint of im2col).
+Tensor col2im(const Tensor& cols, const Shape& input_shape, std::int64_t kernel,
+              std::int64_t stride, std::int64_t pad);
+
+}  // namespace teamnet

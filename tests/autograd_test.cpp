@@ -1,0 +1,301 @@
+// Gradient correctness: every autograd op is checked against central finite
+// differences, plus graph-mechanics tests (accumulation, reuse, broadcast).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "tensor/autograd.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet {
+namespace {
+
+/// Central finite-difference check: builds the graph twice per perturbed
+/// element and compares d(scalar out)/d(input) with the autograd gradient.
+void expect_grad_matches_fd(
+    const std::function<ag::Var(const ag::Var&)>& fn, Tensor input,
+    float eps = 1e-3f, float tol = 2e-2f) {
+  ag::Var x(input.clone(), true);
+  ag::Var out = fn(x);
+  ASSERT_EQ(out.value().numel(), 1) << "fd check needs a scalar output";
+  ag::backward(out);
+  ASSERT_TRUE(x.has_grad());
+  const Tensor grad = x.grad().clone();
+
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    Tensor plus = input.clone();
+    plus[i] += eps;
+    Tensor minus = input.clone();
+    minus[i] -= eps;
+    const float f_plus = fn(ag::Var(plus, false)).value()[0];
+    const float f_minus = fn(ag::Var(minus, false)).value()[0];
+    const float fd = (f_plus - f_minus) / (2.0f * eps);
+    EXPECT_NEAR(grad[i], fd, tol + tol * std::abs(fd))
+        << "element " << i;
+  }
+}
+
+TEST(Autograd, AddGrad) {
+  Rng rng(1);
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::add(x, x)); },
+      Tensor::randn({3, 2}, rng));
+}
+
+TEST(Autograd, MulGradWithConstant) {
+  Rng rng(2);
+  Tensor c = Tensor::randn({3, 2}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::mul(x, ag::constant(c.clone())));
+      },
+      Tensor::randn({3, 2}, rng));
+}
+
+TEST(Autograd, DivGrad) {
+  Rng rng(3);
+  Tensor denom({2, 2}, {1.5f, 2.0f, -1.2f, 0.8f});
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::div(x, ag::constant(denom.clone())));
+      },
+      Tensor::randn({2, 2}, rng));
+  // And through the denominator.
+  Tensor numer({2, 2}, {1.0f, -2.0f, 3.0f, 0.5f});
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::div(ag::constant(numer.clone()), x));
+      },
+      Tensor({2, 2}, {1.5f, 2.0f, -1.2f, 0.8f}));
+}
+
+TEST(Autograd, RowBroadcastGrad) {
+  Rng rng(4);
+  Tensor big = Tensor::randn({4, 3}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::mul(ag::constant(big.clone()), x)));
+      },
+      Tensor::randn({1, 3}, rng));
+}
+
+TEST(Autograd, ColBroadcastGrad) {
+  Rng rng(5);
+  Tensor big = Tensor::randn({4, 3}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::mul(ag::constant(big.clone()), x));
+      },
+      Tensor::randn({4, 1}, rng));
+}
+
+TEST(Autograd, ScalarBroadcastGrad) {
+  Rng rng(6);
+  Tensor big = Tensor::randn({3, 3}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::mul(ag::constant(big.clone()), x));
+      },
+      Tensor::randn({1}, rng));
+}
+
+TEST(Autograd, UnaryOpsGrad) {
+  Rng rng(7);
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::exp(x)); },
+      Tensor::randn({2, 3}, rng, 0.0f, 0.5f));
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::log(x)); },
+      Tensor::uniform({2, 3}, rng, 0.5f, 2.0f));
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::tanh(x)); },
+      Tensor::randn({2, 3}, rng));
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::square(x)); },
+      Tensor::randn({2, 3}, rng));
+  // relu/abs away from the kink
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::relu(x)); },
+      Tensor({4}, {-1.0f, -0.3f, 0.4f, 2.0f}));
+  expect_grad_matches_fd(
+      [](const ag::Var& x) { return ag::sum_all(ag::abs(x)); },
+      Tensor({4}, {-1.0f, -0.3f, 0.4f, 2.0f}));
+}
+
+TEST(Autograd, MatmulGradBothSides) {
+  Rng rng(8);
+  Tensor b = Tensor::randn({3, 2}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::matmul(x, ag::constant(b.clone()))));
+      },
+      Tensor::randn({2, 3}, rng));
+  Tensor a = Tensor::randn({2, 3}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::matmul(ag::constant(a.clone()), x)));
+      },
+      Tensor::randn({3, 2}, rng));
+}
+
+TEST(Autograd, SoftmaxRowsGrad) {
+  Rng rng(9);
+  Tensor weights = Tensor::randn({2, 4}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(
+            ag::mul(ag::softmax_rows(x), ag::constant(weights.clone())));
+      },
+      Tensor::randn({2, 4}, rng));
+}
+
+TEST(Autograd, LogSoftmaxGrad) {
+  Rng rng(10);
+  Tensor weights = Tensor::randn({2, 4}, rng);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(
+            ag::mul(ag::log_softmax_rows(x), ag::constant(weights.clone())));
+      },
+      Tensor::randn({2, 4}, rng));
+}
+
+TEST(Autograd, NllLossGrad) {
+  Rng rng(11);
+  const std::vector<int> labels = {2, 0, 1};
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::nll_loss(ag::log_softmax_rows(x), labels);
+      },
+      Tensor::randn({3, 4}, rng));
+}
+
+TEST(Autograd, SumAxisGrad) {
+  Rng rng(12);
+  expect_grad_matches_fd(
+      [](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::sum_axis(x, 0)));
+      },
+      Tensor::randn({3, 2}, rng));
+  expect_grad_matches_fd(
+      [](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::sum_axis(x, 1)));
+      },
+      Tensor::randn({3, 2}, rng));
+}
+
+TEST(Autograd, ReshapeGrad) {
+  Rng rng(13);
+  expect_grad_matches_fd(
+      [](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::reshape(x, {2, 6})));
+      },
+      Tensor::randn({3, 4}, rng));
+}
+
+TEST(Autograd, Conv2dGradInputWeightBias) {
+  Rng rng(14);
+  Tensor w = Tensor::randn({2 * 3 * 3, 2}, rng, 0.0f, 0.3f);
+  Tensor b = Tensor::randn({2}, rng);
+  // input gradient
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::square(
+            ag::conv2d(x, ag::constant(w.clone()), ag::constant(b.clone()), 3,
+                       1, 1)));
+      },
+      Tensor::randn({1, 2, 4, 4}, rng, 0.0f, 0.5f), 1e-2f, 5e-2f);
+  // weight gradient
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng, 0.0f, 0.5f);
+  expect_grad_matches_fd(
+      [&](const ag::Var& wv) {
+        return ag::sum_all(ag::square(
+            ag::conv2d(ag::constant(x.clone()), wv, ag::constant(b.clone()), 3,
+                       1, 1)));
+      },
+      w.clone(), 1e-2f, 5e-2f);
+  // bias gradient
+  expect_grad_matches_fd(
+      [&](const ag::Var& bv) {
+        return ag::sum_all(ag::square(
+            ag::conv2d(ag::constant(x.clone()), ag::constant(w.clone()), bv, 3,
+                       1, 1)));
+      },
+      b.clone(), 1e-2f, 5e-2f);
+}
+
+TEST(Autograd, StridedConvGrad) {
+  Rng rng(15);
+  Tensor w = Tensor::randn({1 * 3 * 3, 2}, rng, 0.0f, 0.3f);
+  expect_grad_matches_fd(
+      [&](const ag::Var& x) {
+        return ag::sum_all(ag::square(
+            ag::conv2d(x, ag::constant(w.clone()), ag::Var(), 3, 2, 1)));
+      },
+      Tensor::randn({1, 1, 5, 5}, rng, 0.0f, 0.5f), 1e-2f, 5e-2f);
+}
+
+TEST(Autograd, GlobalAvgPoolGrad) {
+  Rng rng(16);
+  expect_grad_matches_fd(
+      [](const ag::Var& x) {
+        return ag::sum_all(ag::square(ag::global_avg_pool(x)));
+      },
+      Tensor::randn({2, 3, 2, 2}, rng));
+}
+
+TEST(Autograd, ShakeCombineRoutesGradByBeta) {
+  Tensor a({2}, {1, 2});
+  Tensor bt({2}, {3, 4});
+  ag::Var va(a, true), vb(bt, true);
+  ag::Var out = ag::sum_all(ag::shake_combine(va, vb, 0.3f, 0.7f));
+  // forward uses alpha
+  EXPECT_NEAR(out.value()[0], 0.3f * 3 + 0.7f * 7, 1e-5f);
+  ag::backward(out);
+  // backward uses beta
+  EXPECT_FLOAT_EQ(va.grad()[0], 0.7f);
+  EXPECT_FLOAT_EQ(vb.grad()[0], 0.3f);
+}
+
+TEST(Autograd, GradAccumulatesWhenVarReused) {
+  ag::Var x(Tensor({1}, {3.0f}), true);
+  ag::Var out = ag::sum_all(ag::mul(x, x));  // x^2
+  ag::backward(out);
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(Autograd, GradsAccumulateAcrossBackwardCalls) {
+  ag::Var x(Tensor({1}, {1.0f}), true);
+  ag::backward(ag::sum_all(ag::mul_scalar(x, 2.0f)));
+  ag::backward(ag::sum_all(ag::mul_scalar(x, 3.0f)));
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+  x.zero_grad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(Autograd, ConstantsReceiveNoGrad) {
+  ag::Var c = ag::constant(Tensor({1}, {2.0f}));
+  ag::Var x(Tensor({1}, {3.0f}), true);
+  ag::backward(ag::sum_all(ag::mul(c, x)));
+  EXPECT_FALSE(c.has_grad());
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Autograd, BackwardRequiresScalarRoot) {
+  ag::Var x(Tensor({2}, {1, 2}), true);
+  EXPECT_THROW(ag::backward(ag::mul_scalar(x, 2.0f)), InvariantError);
+}
+
+TEST(Autograd, DiamondGraphAccumulatesBothPaths) {
+  // out = x*x + 3x: d/dx = 2x + 3.
+  ag::Var x(Tensor({1}, {5.0f}), true);
+  ag::Var out =
+      ag::sum_all(ag::add(ag::mul(x, x), ag::mul_scalar(x, 3.0f)));
+  ag::backward(out);
+  EXPECT_FLOAT_EQ(x.grad()[0], 13.0f);
+}
+
+}  // namespace
+}  // namespace teamnet

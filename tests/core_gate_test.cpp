@@ -1,0 +1,325 @@
+// Gate machinery tests: entropy math, the differentiable relaxations
+// (Eqs. 5-7), hard gate helpers, Algorithm 2's trainer, and the alternative
+// gate policies. Includes TEST_P property sweeps over K and the gain a.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/entropy.hpp"
+#include "core/gate.hpp"
+#include "core/gate_policy.hpp"
+#include "core/gate_trainer.hpp"
+#include "core/soft_ops.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet {
+namespace {
+
+TEST(Entropy, UniformIsMaximalDeltaIsZero) {
+  Tensor probs({2, 4}, {0.25f, 0.25f, 0.25f, 0.25f, 1.0f, 0.0f, 0.0f, 0.0f});
+  Tensor h = core::predictive_entropy(probs);
+  EXPECT_NEAR(h[0], std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(h[1], 0.0f, 1e-6f);
+}
+
+TEST(Entropy, FromLogitsMatchesSoftmaxPath) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn({5, 3}, rng);
+  Tensor a = core::entropy_from_logits(logits);
+  Tensor b = core::predictive_entropy(ops::softmax_rows(logits));
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+}
+
+TEST(Entropy, MatrixShapeAndEvalModePreserved) {
+  Rng rng(2);
+  nn::MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.depth = 2;
+  cfg.hidden = 8;
+  nn::MlpNet e1(cfg, rng), e2(cfg, rng);
+  e1.set_training(true);
+  Tensor x = Tensor::randn({7, 6}, rng);
+  Tensor h = core::entropy_matrix({&e1, &e2}, x);
+  EXPECT_EQ(h.shape(), (Shape{7, 2}));
+  EXPECT_TRUE(e1.training()) << "probe must restore training mode";
+  for (float v : h.values()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Entropy, RelativeDeviationDetectsDiversity) {
+  Tensor same({4, 2}, {1, 1, 1, 1, 1, 1, 1, 1});
+  EXPECT_NEAR(core::relative_mean_abs_deviation(same), 0.0f, 1e-6f);
+  Tensor diverse({1, 2}, {0.1f, 1.9f});
+  EXPECT_GT(core::relative_mean_abs_deviation(diverse), 0.5f);
+}
+
+TEST(SoftOps, SoftArgminApproachesHardArgmin) {
+  Tensor scores({3, 3}, {1.0f, 0.1f, 2.0f,   //
+                         0.2f, 1.5f, 1.0f,   //
+                         3.0f, 2.0f, 0.5f});
+  ag::Var g = core::soft_argmin_rows(ag::constant(scores), 50.0f);
+  EXPECT_NEAR(g.value()[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(g.value()[1], 0.0f, 1e-2f);
+  EXPECT_NEAR(g.value()[2], 2.0f, 1e-2f);
+}
+
+TEST(SoftOps, SoftArgminIsSoftAtLowTemperature) {
+  Tensor scores({1, 2}, {1.0f, 1.1f});
+  ag::Var g = core::soft_argmin_rows(ag::constant(scores), 0.5f);
+  EXPECT_GT(g.value()[0], 0.3f);
+  EXPECT_LT(g.value()[0], 0.7f);
+}
+
+TEST(SoftOps, SoftIndicatorSelectsOwnInteger) {
+  Tensor g({3, 1}, {0.0f, 1.0f, 2.0f});
+  for (int i = 0; i < 3; ++i) {
+    ag::Var ind = core::soft_indicator(ag::constant(g.clone()), i);
+    for (int r = 0; r < 3; ++r) {
+      if (r == i) {
+        EXPECT_GT(ind.value()[r], 0.99f);
+      } else {
+        EXPECT_NEAR(ind.value()[r], 0.0f, 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(SoftOps, SoftIndicatorIsDifferentiableNearBoundary) {
+  ag::Var g(Tensor({1, 1}, {0.3f}), true);
+  ag::Var ind = core::soft_indicator(g, 0);
+  ag::backward(ag::sum_all(ind));
+  EXPECT_NE(g.grad()[0], 0.0f);
+}
+
+TEST(SoftOps, RoundingDistance) {
+  Tensor g({4, 1}, {0.0f, 0.5f, 0.9f, 1.2f});
+  ag::Var d = core::mean_rounding_distance(ag::constant(g));
+  EXPECT_NEAR(d.value()[0], (0.0f + 0.5f + 0.1f + 0.2f) / 4.0f, 1e-5f);
+}
+
+TEST(Gate, AssignAndProportions) {
+  Tensor h({4, 2}, {0.1f, 0.9f,   //
+                    0.9f, 0.1f,   //
+                    0.2f, 0.8f,   //
+                    0.3f, 0.6f});
+  auto assign = core::argmin_gate(h);
+  EXPECT_EQ(assign, (std::vector<int>{0, 1, 0, 0}));
+  auto gamma = core::assignment_proportions(assign, 2);
+  EXPECT_FLOAT_EQ(gamma[0], 0.75f);
+  EXPECT_FLOAT_EQ(gamma[1], 0.25f);
+
+  // Delta handicap flips the borderline sample (row 3: 0.9 vs 0.6).
+  auto biased = core::gate_assign(h, {3.0f, 1.0f});
+  EXPECT_EQ(biased, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(Gate, ControllerTargetMirrorsBias) {
+  auto target = core::controller_target({0.8f, 0.2f}, 0.5f);
+  EXPECT_NEAR(target[0], 0.5f - 0.5f * 0.3f, 1e-6f);
+  EXPECT_NEAR(target[1], 0.5f + 0.5f * 0.3f, 1e-6f);
+  // Targets always sum to 1.
+  EXPECT_NEAR(target[0] + target[1], 1.0f, 1e-6f);
+}
+
+TEST(Gate, PartitionByAssignment) {
+  auto parts = core::partition_by_assignment({0, 1, 0, 2, 1}, 3);
+  EXPECT_EQ(parts[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(parts[1], (std::vector<int>{1, 4}));
+  EXPECT_EQ(parts[2], (std::vector<int>{3}));
+}
+
+/// Builds a biased entropy matrix where expert 0 "wins" `bias_pct`% of rows
+/// under the plain argmin gate.
+Tensor biased_entropy(int n, int k, int bias_pct, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor h({n, k});
+  for (int r = 0; r < n; ++r) {
+    const int winner = (r * 100 < n * bias_pct) ? 0 : 1 + rng.randint(0, k - 2);
+    for (int i = 0; i < k; ++i) {
+      h[r * k + i] = (i == winner) ? rng.uniform(0.05f, 0.4f)
+                                   : rng.uniform(0.7f, 1.6f);
+    }
+  }
+  return h;
+}
+
+struct GateSweepParam {
+  int num_experts;
+  float gain;
+  int bias_pct;
+};
+
+class GateTrainerSweep : public ::testing::TestWithParam<GateSweepParam> {};
+
+TEST_P(GateTrainerSweep, CorrectsBiasTowardControllerTarget) {
+  const auto param = GetParam();
+  Tensor h = biased_entropy(128, param.num_experts, param.bias_pct, 42);
+  core::GateTrainerConfig cfg;
+  cfg.gain_a = param.gain;
+  core::GateTrainer trainer(param.num_experts, cfg, Rng(7));
+
+  // A few consecutive batches (warm start helps, as in real training).
+  core::GateDecision d;
+  for (int i = 0; i < 4; ++i) d = trainer.decide(h);
+
+  const auto gamma = core::assignment_proportions(core::argmin_gate(h),
+                                                  param.num_experts);
+  const auto target = core::controller_target(gamma, param.gain);
+  EXPECT_LE(core::gate_objective(d.gamma_bar, target), 0.10f)
+      << "K=" << param.num_experts << " a=" << param.gain
+      << " bias=" << param.bias_pct;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, GateTrainerSweep,
+    ::testing::Values(GateSweepParam{2, 0.3f, 70}, GateSweepParam{2, 0.5f, 85},
+                      GateSweepParam{2, 0.7f, 95}, GateSweepParam{4, 0.3f, 55},
+                      GateSweepParam{4, 0.5f, 70}, GateSweepParam{4, 0.7f, 85},
+                      GateSweepParam{3, 0.5f, 80}));
+
+TEST(GateTrainer, UnbiasedBatchExitsImmediately) {
+  // Perfectly balanced entropies: argmin already meets the target.
+  Tensor h = biased_entropy(128, 2, 50, 3);
+  core::GateTrainer trainer(2, {}, Rng(5));
+  auto d = trainer.decide(h);
+  EXPECT_LE(d.objective, trainer.config().j_threshold + 0.05f);
+}
+
+TEST(GateTrainer, RejectsBadConfig) {
+  EXPECT_THROW(core::GateTrainer(1, {}, Rng(1)), InvariantError);
+  core::GateTrainerConfig bad;
+  bad.gain_a = 1.5f;
+  EXPECT_THROW(core::GateTrainer(2, bad, Rng(1)), InvariantError);
+}
+
+TEST(GateTrainer, TemperatureStaysInSaneBand) {
+  Tensor h = biased_entropy(64, 2, 85, 11);
+  core::GateTrainer trainer(2, {}, Rng(13));
+  for (int i = 0; i < 8; ++i) trainer.decide(h);
+  EXPECT_GE(trainer.temperature(), 0.5f);
+  EXPECT_LE(trainer.temperature(), 100.0f);
+}
+
+TEST(GatePolicy, ArgMinNeverCorrectsBias) {
+  Tensor h = biased_entropy(100, 2, 90, 17);
+  auto policy = core::make_gate_policy(core::GateKind::ArgMin, 2, {}, Rng(1));
+  auto d = policy->decide(h);
+  EXPECT_NEAR(d.gamma_bar[0], 0.9f, 0.02f) << "argmin keeps the rich richer";
+}
+
+TEST(GatePolicy, ProportionalControllerConverges) {
+  auto policy =
+      core::make_gate_policy(core::GateKind::Proportional, 2, {}, Rng(1));
+  core::GateDecision d;
+  for (int i = 0; i < 30; ++i) {
+    d = policy->decide(biased_entropy(100, 2, 85, 100 + i));
+  }
+  EXPECT_NEAR(d.gamma_bar[0], 0.5f, 0.2f);
+}
+
+TEST(GatePolicy, RandomIsRoughlyUniform) {
+  auto policy = core::make_gate_policy(core::GateKind::Random, 4, {}, Rng(2));
+  auto d = policy->decide(biased_entropy(400, 4, 90, 19));
+  for (float g : d.gamma_bar) EXPECT_NEAR(g, 0.25f, 0.1f);
+}
+
+TEST(GatePolicy, Names) {
+  EXPECT_EQ(core::to_string(core::GateKind::Learned), "learned");
+  EXPECT_EQ(core::to_string(core::GateKind::Random), "random");
+}
+
+}  // namespace
+}  // namespace teamnet
+
+namespace teamnet {
+namespace {
+
+TEST(WeightedController, UnequalSetPoints) {
+  // Device with weight 3 should be targeted 3x the share of weight-1 peers.
+  const auto target =
+      core::weighted_controller_target({0.6f, 0.2f, 0.2f}, {3.0f, 1.0f, 1.0f},
+                                       0.5f);
+  // Set points are [0.6, 0.2, 0.2]; gamma equals them -> target == set point.
+  EXPECT_NEAR(target[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(target[1], 0.2f, 1e-5f);
+  EXPECT_NEAR(target[2], 0.2f, 1e-5f);
+}
+
+TEST(WeightedController, CorrectsTowardWeightedSetPoint) {
+  // gamma uniform but weights 2:1 -> expert 0 should be targeted above 1/2.
+  const auto target =
+      core::weighted_controller_target({0.5f, 0.5f}, {2.0f, 1.0f}, 0.5f);
+  EXPECT_GT(target[0], 0.5f);
+  EXPECT_LT(target[1], 0.5f);
+  EXPECT_NEAR(target[0] + target[1], 1.0f, 1e-5f);
+}
+
+TEST(WeightedController, RejectsNonPositiveWeights) {
+  EXPECT_THROW(
+      core::weighted_controller_target({0.5f, 0.5f}, {1.0f, 0.0f}, 0.5f),
+      InvariantError);
+  EXPECT_THROW(
+      core::weighted_controller_target({0.5f, 0.5f}, {1.0f}, 0.5f),
+      InvariantError);
+}
+
+TEST(WeightedController, UniformWeightsMatchPlainController) {
+  const std::vector<float> gamma = {0.7f, 0.1f, 0.2f};
+  const auto plain = core::controller_target(gamma, 0.4f);
+  const auto weighted =
+      core::weighted_controller_target(gamma, {5.0f, 5.0f, 5.0f}, 0.4f);
+  ASSERT_EQ(plain.size(), weighted.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_NEAR(plain[i], weighted[i], 1e-5f);
+  }
+}
+
+TEST(GateTrainer, CapacityWeightsSteerThePartition) {
+  // Balanced entropies, but expert 0 is declared twice as capable: the gate
+  // should hand it roughly two thirds of the batch.
+  core::GateTrainerConfig cfg;
+  cfg.capacity_weights = {2.0f, 1.0f};
+  core::GateTrainer trainer(2, cfg, Rng(7));
+  Tensor h = biased_entropy(128, 2, 50, 42);  // unbiased batch
+  core::GateDecision d;
+  for (int i = 0; i < 4; ++i) d = trainer.decide(h);
+  EXPECT_NEAR(d.gamma_bar[0], 2.0f / 3.0f, 0.12f);
+  EXPECT_NEAR(d.gamma_bar[1], 1.0f / 3.0f, 0.12f);
+}
+
+TEST(GateTrainer, CapacityWeightsValidated) {
+  core::GateTrainerConfig cfg;
+  cfg.capacity_weights = {1.0f, 1.0f, 1.0f};  // wrong size for K=2
+  EXPECT_THROW(core::GateTrainer(2, cfg, Rng(1)), InvariantError);
+}
+
+}  // namespace
+}  // namespace teamnet
+
+namespace teamnet {
+namespace {
+
+TEST(GateTrainer, RescuesAStarvedExpert) {
+  // Expert 2 of 4 has uniformly HIGH entropy (never trained) while the
+  // others are confident everywhere — the regime where gradient search
+  // stalls because no bounded delta swing is found by descent. The rescue
+  // projection must still hand it roughly its target share.
+  Rng rng(7);
+  const int n = 128, k = 4;
+  Tensor h({n, k});
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < k; ++i) {
+      h[r * k + i] = (i == 1) ? rng.uniform(2.0f, 2.3f)   // starved expert
+                              : rng.uniform(0.05f, 0.5f);
+    }
+  }
+  core::GateTrainer trainer(k, {}, Rng(9));
+  core::GateDecision d;
+  for (int call = 0; call < 3; ++call) d = trainer.decide(h);
+  EXPECT_GT(d.gamma_bar[1], 0.12f)
+      << "starved expert must receive a meaningful share";
+  EXPECT_LE(d.objective, 0.12f);
+}
+
+}  // namespace
+}  // namespace teamnet

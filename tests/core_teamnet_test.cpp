@@ -1,0 +1,150 @@
+// End-to-end TeamNet tests on the fast blobs dataset: specialization,
+// balanced partitions, inference gating and accuracy vs a single model.
+#include <gtest/gtest.h>
+
+#include "core/teamnet.hpp"
+#include "data/blobs.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+
+namespace teamnet {
+namespace {
+
+data::Dataset blobs_train() {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 600;
+  cfg.num_classes = 4;
+  cfg.dims = 8;
+  cfg.seed = 21;
+  return data::make_blobs(cfg);
+}
+
+data::Dataset blobs_test() {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 4;
+  cfg.dims = 8;
+  cfg.seed = 21;  // same centers (same seed), different draw below
+  data::Dataset d = data::make_blobs(cfg);
+  Rng rng(99);
+  d.shuffle(rng);
+  return d;
+}
+
+core::ExpertFactory small_mlp_factory(std::int64_t dims, int classes) {
+  return [dims, classes](int /*index*/, Rng& rng) -> nn::ModulePtr {
+    nn::MlpConfig cfg;
+    cfg.in_features = dims;
+    cfg.num_classes = classes;
+    cfg.depth = 2;
+    cfg.hidden = 16;
+    return std::make_unique<nn::MlpNet>(cfg, rng);
+  };
+}
+
+TEST(TeamNet, TrainsToHighAccuracyOnBlobs) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.sgd.lr = 0.05f;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  const double acc = ensemble.evaluate_accuracy(blobs_test());
+  EXPECT_GT(acc, 0.9) << "TeamNet should solve separable blobs";
+}
+
+TEST(TeamNet, PartitionsConvergeTowardSetPoint) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  trainer.train(train);
+  const auto& tel = trainer.telemetry();
+  ASSERT_GT(tel.iterations(), 20u);
+  // The paper's convergence claim (Fig. 6) is about the mean proportion:
+  // the smoothed gamma over the last quarter of training sits near 1/K.
+  const std::size_t window = tel.iterations() / 4;
+  const auto smoothed = tel.smoothed_gamma(tel.iterations() - 1, window);
+  for (float g : smoothed) {
+    EXPECT_NEAR(g, 0.5f, 0.15f)
+        << "late-training mean partition should hover near 1/K";
+  }
+}
+
+TEST(TeamNet, EnsembleInferenceSelectsLeastEntropyExpert) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 4;
+  cfg.batch_size = 32;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+
+  auto test = blobs_test();
+  auto result = ensemble.infer(test.images);
+  ASSERT_EQ(result.chosen.size(), test.labels.size());
+  const std::int64_t k = 2;
+  for (std::size_t r = 0; r < result.chosen.size(); ++r) {
+    const int w = result.chosen[r];
+    for (std::int64_t i = 0; i < k; ++i) {
+      EXPECT_LE(result.entropy[static_cast<std::int64_t>(r) * k + w],
+                result.entropy[static_cast<std::int64_t>(r) * k + i] + 1e-6f);
+    }
+  }
+}
+
+TEST(TeamNet, BothExpertsWinSomeSamples) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  auto result = ensemble.infer(blobs_test().images);
+  int wins0 = 0, wins1 = 0;
+  for (int w : result.chosen) (w == 0 ? wins0 : wins1)++;
+  EXPECT_GT(wins0, 0) << "expert 0 never selected — no specialization";
+  EXPECT_GT(wins1, 0) << "expert 1 never selected — no specialization";
+}
+
+TEST(TeamNet, MajorityVoteRuleRuns) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 4;
+  cfg.batch_size = 32;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  const double acc =
+      ensemble.evaluate_accuracy(blobs_test(), core::SelectionRule::MajorityVote);
+  EXPECT_GT(acc, 0.4);
+}
+
+TEST(TeamNet, ConfigValidation) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 1;
+  EXPECT_THROW(core::TeamNetTrainer(cfg, small_mlp_factory(8, 4)),
+               InvariantError);
+  cfg.num_experts = 2;
+  EXPECT_THROW(core::TeamNetTrainer(cfg, nullptr), InvariantError);
+}
+
+TEST(TeamNet, FourExpertsTrainAndInfer) {
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 4;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  auto train = blobs_train();
+  core::TeamNetTrainer trainer(cfg, small_mlp_factory(8, 4));
+  core::TeamNetEnsemble ensemble = trainer.train(train);
+  EXPECT_EQ(ensemble.num_experts(), 4);
+  EXPECT_GT(ensemble.evaluate_accuracy(blobs_test()), 0.8);
+}
+
+}  // namespace
+}  // namespace teamnet

@@ -1,0 +1,231 @@
+// Dataset substrate tests: determinism, balance, separability and the
+// super-cluster structure the specialization experiment depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/blobs.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace teamnet {
+namespace {
+
+/// Nearest-centroid classification accuracy — a cheap proxy for "classes
+/// are separable in pixel space".
+double nearest_centroid_accuracy(const data::Dataset& train,
+                                 const data::Dataset& test) {
+  const std::int64_t features = train.images.numel() / train.size();
+  Tensor train_flat = train.images.reshape({train.size(), features});
+  Tensor test_flat = test.images.reshape({test.size(), features});
+
+  std::vector<std::vector<double>> centroids(
+      static_cast<std::size_t>(train.num_classes),
+      std::vector<double>(static_cast<std::size_t>(features), 0.0));
+  std::vector<int> counts(static_cast<std::size_t>(train.num_classes), 0);
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    const int y = train.labels[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(y)];
+    for (std::int64_t f = 0; f < features; ++f) {
+      centroids[static_cast<std::size_t>(y)][static_cast<std::size_t>(f)] +=
+          train_flat[i * features + f];
+    }
+  }
+  for (int c = 0; c < train.num_classes; ++c) {
+    for (auto& v : centroids[static_cast<std::size_t>(c)]) {
+      v /= counts[static_cast<std::size_t>(c)];
+    }
+  }
+
+  std::size_t correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    int best = -1;
+    double best_dist = 1e300;
+    for (int c = 0; c < train.num_classes; ++c) {
+      double dist = 0.0;
+      for (std::int64_t f = 0; f < features; ++f) {
+        const double d =
+            test_flat[i * features + f] -
+            centroids[static_cast<std::size_t>(c)][static_cast<std::size_t>(f)];
+        dist += d * d;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == test.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+TEST(Dataset, SubsetSplitAndCounts) {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 100;
+  cfg.num_classes = 4;
+  auto ds = data::make_blobs(cfg);
+  EXPECT_EQ(ds.size(), 100);
+  auto counts = ds.class_counts();
+  for (int c : counts) EXPECT_EQ(c, 25);
+
+  auto sub = ds.subset({0, 5, 10});
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.labels[1], ds.labels[5]);
+
+  auto [a, b] = ds.split(0.8);
+  EXPECT_EQ(a.size(), 80);
+  EXPECT_EQ(b.size(), 20);
+  EXPECT_THROW(ds.subset({1000}), InvariantError);
+}
+
+TEST(Dataset, ShuffleIsDeterministicPerSeed) {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 64;
+  auto a = data::make_blobs(cfg);
+  auto b = data::make_blobs(cfg);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_TRUE(a.images.allclose(b.images));
+}
+
+TEST(BatchIterator, CoversEpochExactlyOnce) {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 50;
+  auto ds = data::make_blobs(cfg);
+  data::BatchIterator it(ds, 16);
+  EXPECT_EQ(it.batches_per_epoch(), 4);
+  std::int64_t seen = 0;
+  for (auto b = it.next(); b.size() > 0; b = it.next()) seen += b.size();
+  EXPECT_EQ(seen, 50);
+  EXPECT_EQ(it.next().size(), 0);  // epoch exhausted
+  it.reset();
+  EXPECT_EQ(it.next().size(), 16);
+}
+
+TEST(BatchIterator, ShufflingChangesOrderButNotContent) {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 64;
+  auto ds = data::make_blobs(cfg);
+  Rng rng(5);
+  data::BatchIterator it(ds, 64, &rng);
+  auto b1 = it.next();
+  it.reset();
+  auto b2 = it.next();
+  // Same multiset of labels, different order (with high probability).
+  auto s1 = b1.y, s2 = b2.y;
+  EXPECT_NE(b1.y, b2.y);
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SyntheticMnist, BalancedAndDeterministic) {
+  data::MnistConfig cfg;
+  cfg.num_samples = 200;
+  auto a = data::make_synthetic_mnist(cfg);
+  auto b = data::make_synthetic_mnist(cfg);
+  EXPECT_EQ(a.num_classes, 10);
+  EXPECT_EQ(a.images.shape(), (Shape{200, 28 * 28}));
+  for (int c : a.class_counts()) EXPECT_EQ(c, 20);
+  EXPECT_TRUE(a.images.allclose(b.images));
+  for (float v : a.images.values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticMnist, ClassesAreSeparable) {
+  data::MnistConfig cfg;
+  cfg.num_samples = 1200;
+  auto ds = data::make_synthetic_mnist(cfg);
+  auto [test, train] = ds.split(0.25);
+  EXPECT_GT(nearest_centroid_accuracy(train, test), 0.7)
+      << "digit templates should separate well above 10% chance";
+}
+
+TEST(SyntheticMnist, IntraClassVarianceExists) {
+  Rng rng(9);
+  Tensor a = data::render_digit(3, 28, rng, 0.05f, 2.0f);
+  Tensor b = data::render_digit(3, 28, rng, 0.05f, 2.0f);
+  EXPECT_FALSE(a.allclose(b, 1e-3f)) << "two renders must differ";
+}
+
+TEST(SyntheticCifar, BalancedShapesAndRange) {
+  data::CifarConfig cfg;
+  cfg.num_samples = 200;
+  cfg.image_size = 16;
+  auto ds = data::make_synthetic_cifar(cfg);
+  EXPECT_EQ(ds.images.shape(), (Shape{200, 3, 16, 16}));
+  for (int c : ds.class_counts()) EXPECT_EQ(c, 20);
+  for (float v : ds.images.values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticCifar, ClassesAreSeparable) {
+  data::CifarConfig cfg;
+  cfg.num_samples = 1500;
+  auto ds = data::make_synthetic_cifar(cfg);
+  auto [test, train] = ds.split(0.2);
+  EXPECT_GT(nearest_centroid_accuracy(train, test), 0.6);
+}
+
+TEST(SyntheticCifar, SuperClustersSeparateInColorSpace) {
+  // Mean blue-channel minus green-channel should split machines (sky/sea
+  // backgrounds) from animals (vegetation backgrounds) — the structure
+  // Figure 9's specialization result needs.
+  data::CifarConfig cfg;
+  cfg.num_samples = 500;
+  auto ds = data::make_synthetic_cifar(cfg);
+  const std::int64_t s = cfg.image_size;
+  const std::int64_t plane = s * s;
+  double machine_score = 0.0, animal_score = 0.0;
+  int machines = 0, animals = 0;
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    const float* img = ds.images.data() + i * 3 * plane;
+    double green = 0.0, blue = 0.0;
+    for (std::int64_t p = 0; p < plane; ++p) {
+      green += img[plane + p];
+      blue += img[2 * plane + p];
+    }
+    const double score = (blue - green) / static_cast<double>(plane);
+    if (data::is_machine_class(ds.labels[static_cast<std::size_t>(i)])) {
+      machine_score += score;
+      ++machines;
+    } else {
+      animal_score += score;
+      ++animals;
+    }
+  }
+  EXPECT_GT(machine_score / machines, animal_score / animals + 0.05)
+      << "machines should be bluer than animals on average";
+}
+
+TEST(SyntheticCifar, ClassMetadata) {
+  EXPECT_EQ(data::cifar_class_name(0), "airplane");
+  EXPECT_EQ(data::cifar_class_name(9), "truck");
+  EXPECT_TRUE(data::is_machine_class(0));
+  EXPECT_TRUE(data::is_machine_class(8));
+  EXPECT_FALSE(data::is_machine_class(3));
+  EXPECT_THROW(data::cifar_class_name(10), InvariantError);
+}
+
+TEST(Blobs, SeparableByConstruction) {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 800;
+  auto ds = data::make_blobs(cfg);
+  auto [test, train] = ds.split(0.25);
+  EXPECT_GT(nearest_centroid_accuracy(train, test), 0.95);
+}
+
+TEST(Dataset, ValidateCatchesBadLabels) {
+  data::Dataset ds;
+  ds.images = Tensor({2, 3});
+  ds.labels = {0, 5};
+  ds.num_classes = 2;
+  EXPECT_THROW(ds.validate(), InvariantError);
+}
+
+}  // namespace
+}  // namespace teamnet

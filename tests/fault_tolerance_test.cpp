@@ -1,0 +1,165 @@
+// Failure injection for the collaborative protocol: dead workers, wedged
+// workers (timeouts), closed TCP peers — the master must degrade to the
+// surviving experts, never hang or crash.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "net/collab.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "nn/mlp.hpp"
+
+namespace teamnet {
+namespace {
+
+nn::MlpConfig tiny_mlp() {
+  nn::MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.num_classes = 3;
+  cfg.depth = 2;
+  cfg.hidden = 8;
+  return cfg;
+}
+
+TEST(ChannelTimeout, InprocTimesOutThenDelivers) {
+  auto [a, b] = net::make_inproc_pair();
+  EXPECT_EQ(a->recv_timeout(0.02), std::nullopt);
+  b->send("late");
+  auto got = a->recv_timeout(0.5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "late");
+}
+
+TEST(ChannelTimeout, TcpTimesOutThenDelivers) {
+  net::TcpListener listener(0);
+  auto client_fut = std::async(std::launch::async, [&] {
+    return net::tcp_connect("127.0.0.1", listener.port());
+  });
+  auto server = listener.accept();
+  auto client = client_fut.get();
+
+  EXPECT_EQ(server->recv_timeout(0.05), std::nullopt);
+  client->send("hello");
+  auto got = server->recv_timeout(1.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "hello");
+}
+
+TEST(FaultTolerance, WedgedWorkerIsTimedOutAndExcluded) {
+  Rng rng(1);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  nn::MlpNet live_expert(tiny_mlp(), rng);
+
+  // Worker 1 serves normally; worker 2 never answers (wedged).
+  auto [m1, w1] = net::make_inproc_pair();
+  auto [m2, w2] = net::make_inproc_pair();
+  net::CollaborativeWorker live(live_expert, *w1);
+  std::thread live_thread([&live] { live.serve(); });
+
+  net::CollaborativeMaster master(master_expert, {m1.get(), m2.get()});
+  master.set_worker_timeout(0.05);
+
+  Tensor x = Tensor::randn({2, 6}, rng);
+  auto result = master.infer(x);
+  EXPECT_EQ(result.predictions.size(), 2u);
+  EXPECT_EQ(master.failed_workers(), 1);
+  EXPECT_TRUE(master.worker_alive(0));
+  EXPECT_FALSE(master.worker_alive(1));
+  // Only nodes 0 (master) and 1 (live worker) can win.
+  for (int chosen : result.chosen) EXPECT_NE(chosen, 2);
+
+  // A second query must not wait on the dead worker at all.
+  auto again = master.infer(x);
+  EXPECT_EQ(again.predictions.size(), 2u);
+  EXPECT_EQ(master.failed_workers(), 1);
+
+  master.shutdown();
+  live_thread.join();
+  // The wedged worker's queue got the first Infer but no Shutdown after
+  // being marked failed.
+}
+
+TEST(FaultTolerance, ClosedTcpPeerIsMarkedFailedNotFatal) {
+  Rng rng(2);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  nn::MlpNet worker_expert(tiny_mlp(), rng);
+
+  net::TcpListener listener(0);
+  std::thread worker_thread([&] {
+    auto channel = net::tcp_connect("127.0.0.1", listener.port());
+    // Serve exactly one request, then drop the connection abruptly.
+    net::Message request = net::Message::decode(channel->recv());
+    net::Message reply;
+    reply.type = net::MsgType::Result;
+    Tensor probs({request.tensors[0].dim(0), 3});
+    probs.fill(1.0f / 3.0f);
+    Tensor entropy({request.tensors[0].dim(0)});
+    entropy.fill(5.0f);  // very uncertain — master should win selection
+    reply.tensors = {probs, entropy};
+    channel->send(reply.encode());
+    // channel destructor closes the socket here
+  });
+  auto channel = listener.accept();
+
+  net::CollaborativeMaster master(master_expert, {channel.get()});
+  master.set_worker_timeout(1.0);
+  Tensor x = Tensor::randn({1, 6}, rng);
+
+  auto first = master.infer(x);
+  EXPECT_EQ(master.failed_workers(), 0);
+  worker_thread.join();
+
+  // Peer is gone now: the next query must degrade to master-only.
+  auto second = master.infer(x);
+  EXPECT_EQ(second.predictions.size(), 1u);
+  EXPECT_EQ(second.chosen[0], 0);
+  EXPECT_EQ(master.failed_workers(), 1);
+  master.shutdown();  // must not throw with a dead worker
+}
+
+TEST(FaultTolerance, AllWorkersDeadStillAnswers) {
+  Rng rng(3);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  auto [m1, w1] = net::make_inproc_pair();
+  auto [m2, w2] = net::make_inproc_pair();
+
+  net::CollaborativeMaster master(master_expert, {m1.get(), m2.get()});
+  master.set_worker_timeout(0.02);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  auto result = master.infer(x);
+  EXPECT_EQ(master.failed_workers(), 2);
+  for (int chosen : result.chosen) EXPECT_EQ(chosen, 0);
+  EXPECT_EQ(result.predictions.size(), 3u);
+}
+
+TEST(FaultTolerance, ChosenIndexStillNamesGlobalNode) {
+  // With worker 1 (index 0) dead, a win by the second worker must still be
+  // reported as node 2, not renumbered.
+  Rng rng(4);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  nn::MlpNet confident(tiny_mlp(), rng);
+  // Make the surviving worker extremely confident so it always wins.
+  for (auto& p : confident.parameters()) {
+    for (auto& v : p.mutable_value().values()) v *= 20.0f;
+  }
+
+  auto [m1, w1] = net::make_inproc_pair();
+  auto [m2, w2] = net::make_inproc_pair();
+  net::CollaborativeWorker worker(confident, *w2);
+  std::thread worker_thread([&worker] { worker.serve(); });
+
+  net::CollaborativeMaster master(master_expert, {m1.get(), m2.get()});
+  master.set_worker_timeout(0.05);
+  Tensor x = Tensor::full({1, 6}, 1.0f);
+  auto result = master.infer(x);
+  EXPECT_FALSE(master.worker_alive(0));
+  EXPECT_TRUE(master.worker_alive(1));
+  EXPECT_EQ(result.chosen[0], 2) << "global node index must be preserved";
+  master.shutdown();
+  worker_thread.join();
+}
+
+}  // namespace
+}  // namespace teamnet

@@ -1,0 +1,237 @@
+// Transport / protocol tests: framing, in-proc channels, real TCP over
+// loopback, virtual-clock math, and the Figure-1 collaborative protocol
+// (including equivalence with the in-process TeamNetEnsemble).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/teamnet.hpp"
+#include "data/blobs.hpp"
+#include "net/collab.hpp"
+#include "net/message.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "net/virtual_clock.hpp"
+#include "nn/mlp.hpp"
+
+namespace teamnet {
+namespace {
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  net::Message msg;
+  msg.type = net::MsgType::Infer;
+  msg.ints = {42, -7};
+  msg.tensors = {Tensor::randn({2, 3}, rng), Tensor::randn({4}, rng)};
+  const std::string bytes = msg.encode();
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), msg.encoded_size());
+
+  net::Message back = net::Message::decode(bytes);
+  EXPECT_EQ(back.type, net::MsgType::Infer);
+  EXPECT_EQ(back.ints, msg.ints);
+  ASSERT_EQ(back.tensors.size(), 2u);
+  EXPECT_TRUE(back.tensors[0].allclose(msg.tensors[0]));
+  EXPECT_TRUE(back.tensors[1].allclose(msg.tensors[1]));
+}
+
+TEST(Message, DecodeRejectsTruncated) {
+  net::Message msg;
+  msg.tensors = {Tensor::ones({8})};
+  std::string bytes = msg.encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(net::Message::decode(bytes), SerializationError);
+}
+
+TEST(InProc, PairDeliversBothDirections) {
+  auto [a, b] = net::make_inproc_pair();
+  a->send("hello");
+  b->send("world");
+  EXPECT_EQ(b->recv(), "hello");
+  EXPECT_EQ(a->recv(), "world");
+}
+
+TEST(InProc, PreservesOrderAcrossThreads) {
+  auto [a, b] = net::make_inproc_pair();
+  std::thread producer([&a] {
+    for (int i = 0; i < 100; ++i) a->send(std::to_string(i));
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b->recv(), std::to_string(i));
+  producer.join();
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  net::TcpListener listener(0);
+  std::thread client([&] {
+    auto ch = net::tcp_connect("127.0.0.1", listener.port());
+    ch->send("ping");
+    EXPECT_EQ(ch->recv(), "pong");
+  });
+  auto server = listener.accept();
+  EXPECT_EQ(server->recv(), "ping");
+  server->send("pong");
+  client.join();
+}
+
+TEST(Tcp, LargeMessageSurvivesFraming) {
+  net::TcpListener listener(0);
+  const std::string big(1 << 20, 'x');
+  std::thread client([&] {
+    auto ch = net::tcp_connect("127.0.0.1", listener.port());
+    ch->send(big);
+  });
+  auto server = listener.accept();
+  EXPECT_EQ(server->recv(), big);
+  client.join();
+}
+
+TEST(Tcp, ConnectToDeadPortFails) {
+  EXPECT_THROW(net::tcp_connect("127.0.0.1", 1), NetworkError);
+}
+
+TEST(VirtualClock, ComputeAdvancesOneNode) {
+  net::VirtualClock clock(2);
+  clock.advance(0, 1.5);
+  EXPECT_DOUBLE_EQ(clock.node_time(0), 1.5);
+  EXPECT_DOUBLE_EQ(clock.node_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(clock.max_time(), 1.5);
+  EXPECT_THROW(clock.advance(0, -1.0), InvariantError);
+}
+
+TEST(VirtualClock, DeliveryImposesLinkDelay) {
+  net::VirtualClock clock(2);
+  net::LinkProfile link{0.001, 8e6, 0.0};  // 1 ms prop + 1 us/byte airtime
+  const double arrival = clock.deliver(1, /*send_time=*/2.0, 1000, link);
+  EXPECT_NEAR(arrival, 2.0 + 0.001 + 0.001, 1e-9);
+  EXPECT_NEAR(clock.node_time(1), arrival, 1e-12);
+  EXPECT_EQ(clock.bytes_delivered(), 1000);
+  EXPECT_EQ(clock.messages_delivered(), 1);
+}
+
+TEST(VirtualClock, SharedMediumSerializesConcurrentTransmissions) {
+  // Two messages "sent" at the same instant contend for the half-duplex
+  // medium: the second transmission starts only after the first's airtime.
+  net::VirtualClock clock(3);
+  net::LinkProfile link{0.001, 8e6, 0.0};
+  const double a1 = clock.deliver(1, 0.0, 1000, link);  // airtime 1 ms
+  const double a2 = clock.deliver(2, 0.0, 1000, link);
+  EXPECT_NEAR(a1, 0.002, 1e-9);
+  EXPECT_NEAR(a2, 0.003, 1e-9) << "second message waits for the medium";
+  // A later send on an idle medium pays no contention.
+  const double a3 = clock.deliver(1, 10.0, 1000, link);
+  EXPECT_NEAR(a3, 10.002, 1e-9);
+}
+
+TEST(VirtualClock, LinkTransferTime) {
+  net::LinkProfile link{0.0005, 40e6, 0.0002};
+  EXPECT_NEAR(link.transfer_time(0), 0.0007, 1e-9);
+  EXPECT_NEAR(link.transfer_time(40000000 / 8), 0.0007 + 1.0, 1e-6);
+}
+
+TEST(SimChannel, AccountsBytesAndTime) {
+  net::VirtualClock clock(2);
+  net::LinkProfile link{0.01, 0.0, 0.0};
+  auto [raw_a, raw_b] = net::make_inproc_pair();
+  auto a = net::make_sim_channel(std::move(raw_a), clock, 0, 1, link);
+  auto b = net::make_sim_channel(std::move(raw_b), clock, 1, 0, link);
+
+  clock.advance(0, 5.0);
+  a->send("data");
+  EXPECT_EQ(b->recv(), "data");
+  EXPECT_NEAR(clock.node_time(1), 5.01, 1e-9);
+}
+
+/// Two blobs experts trained via TeamNet, then served over the collaborative
+/// protocol — results must match in-process ensemble inference bit-for-bit.
+TEST(Collab, ProtocolMatchesEnsemble) {
+  data::BlobsConfig bc;
+  bc.num_samples = 400;
+  auto ds = data::make_blobs(bc);
+
+  core::TeamNetConfig cfg;
+  cfg.num_experts = 2;
+  cfg.epochs = 4;
+  cfg.batch_size = 32;
+  core::TeamNetTrainer trainer(cfg, [&](int, Rng& rng) -> nn::ModulePtr {
+    nn::MlpConfig mc;
+    mc.in_features = bc.dims;
+    mc.num_classes = static_cast<int>(bc.num_classes);
+    mc.depth = 2;
+    mc.hidden = 16;
+    return std::make_unique<nn::MlpNet>(mc, rng);
+  });
+  auto ensemble = trainer.train(ds);
+  auto expected = ensemble.infer(ds.images);
+
+  auto [master_ch, worker_ch] = net::make_inproc_pair();
+  net::CollaborativeWorker worker(ensemble.expert(1), *worker_ch);
+  std::thread worker_thread([&worker] { worker.serve(); });
+
+  net::CollaborativeMaster master(ensemble.expert(0), {master_ch.get()});
+  auto actual = master.infer(ds.images);
+  master.shutdown();
+  worker_thread.join();
+
+  EXPECT_EQ(actual.predictions, expected.predictions);
+  EXPECT_EQ(actual.chosen, expected.chosen);
+  EXPECT_TRUE(actual.probs.allclose(expected.probs, 1e-6f));
+  EXPECT_EQ(worker.requests_served(), 1);
+}
+
+TEST(Collab, WorksOverRealTcp) {
+  Rng rng(31);
+  nn::MlpConfig mc;
+  mc.in_features = 8;
+  mc.num_classes = 4;
+  mc.depth = 2;
+  mc.hidden = 8;
+  nn::MlpNet master_expert(mc, rng), worker_expert(mc, rng);
+
+  net::TcpListener listener(0);
+  std::thread worker_thread([&] {
+    auto channel = net::tcp_connect("127.0.0.1", listener.port());
+    net::CollaborativeWorker worker(worker_expert, *channel);
+    worker.serve();
+  });
+  auto worker_channel = listener.accept();
+
+  net::CollaborativeMaster master(master_expert, {worker_channel.get()});
+  Tensor x = Tensor::randn({5, 8}, rng);
+  auto result = master.infer(x);
+  EXPECT_EQ(result.predictions.size(), 5u);
+  for (int chosen : result.chosen) {
+    EXPECT_GE(chosen, 0);
+    EXPECT_LE(chosen, 1);
+  }
+  master.shutdown();
+  worker_thread.join();
+}
+
+TEST(Collab, ComputeHooksFire) {
+  Rng rng(33);
+  nn::MlpConfig mc;
+  mc.in_features = 8;
+  mc.num_classes = 4;
+  mc.depth = 2;
+  mc.hidden = 8;
+  nn::MlpNet m(mc, rng), w(mc, rng);
+  auto [a, b] = net::make_inproc_pair();
+
+  std::int64_t worker_flops = 0;
+  net::CollaborativeWorker worker(w, *b);
+  worker.set_compute_hook([&](std::int64_t f) { worker_flops += f; });
+  std::thread t([&worker] { worker.serve(); });
+
+  std::int64_t master_flops = 0;
+  net::CollaborativeMaster master(m, {a.get()});
+  master.set_compute_hook([&](std::int64_t f) { master_flops += f; });
+  master.infer(Tensor::randn({3, 8}, rng));
+  master.shutdown();
+  t.join();
+
+  const std::int64_t expected = m.analyze({8}).flops * 3;
+  EXPECT_EQ(master_flops, expected);
+  EXPECT_EQ(worker_flops, expected);
+}
+
+}  // namespace
+}  // namespace teamnet

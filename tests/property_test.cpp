@@ -1,0 +1,218 @@
+// Property-based sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P) over the
+// mathematical invariants the system relies on: entropy bounds, softmax
+// normalization, gate bookkeeping, controller-target feasibility, autograd
+// linearity, and serialization robustness under random corruption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/entropy.hpp"
+#include "core/gate.hpp"
+#include "core/soft_ops.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/autograd.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet {
+namespace {
+
+// ---- entropy / softmax invariants -------------------------------------------
+
+class RandomLogitsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLogitsSweep, EntropyBounded) {
+  Rng rng(GetParam());
+  const std::int64_t n = 1 + rng.randint(1, 40);
+  const std::int64_t c = 2 + rng.randint(0, 10);
+  Tensor logits = Tensor::randn({n, c}, rng, 0.0f, rng.uniform(0.1f, 8.0f));
+  Tensor h = core::entropy_from_logits(logits);
+  const float max_entropy = std::log(static_cast<float>(c));
+  for (float v : h.values()) {
+    EXPECT_GE(v, -1e-6f);
+    EXPECT_LE(v, max_entropy + 1e-5f);
+  }
+}
+
+TEST_P(RandomLogitsSweep, SoftmaxRowsAreDistributions) {
+  Rng rng(GetParam() + 1000);
+  const std::int64_t n = 1 + rng.randint(1, 40);
+  const std::int64_t c = 2 + rng.randint(0, 10);
+  Tensor p = ops::softmax_rows(
+      Tensor::randn({n, c}, rng, 0.0f, rng.uniform(0.1f, 20.0f)));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) {
+      EXPECT_GE(p[i * c + j], 0.0f);
+      sum += p[i * c + j];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST_P(RandomLogitsSweep, SoftArgminStaysInIndexRange) {
+  Rng rng(GetParam() + 2000);
+  const std::int64_t n = 1 + rng.randint(1, 30);
+  const std::int64_t k = 2 + rng.randint(0, 6);
+  Tensor scores = Tensor::uniform({n, k}, rng, 0.0f, 3.0f);
+  ag::Var g = core::soft_argmin_rows(ag::constant(scores),
+                                     rng.uniform(0.5f, 50.0f));
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(g.value()[i], -1e-4f);
+    EXPECT_LE(g.value()[i], static_cast<float>(k - 1) + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLogitsSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- gate bookkeeping invariants --------------------------------------------
+
+class GateInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GateInvariantSweep, ProportionsSumToOneAndPartitionIsExact) {
+  Rng rng(GetParam());
+  const int n = 16 + rng.randint(0, 200);
+  const int k = 2 + rng.randint(0, 6);
+  Tensor h = Tensor::uniform({n, k}, rng, 0.01f, 2.0f);
+  std::vector<float> delta(static_cast<std::size_t>(k));
+  for (auto& d : delta) d = rng.uniform(0.1f, 5.0f);
+
+  const auto assignment = core::gate_assign(h, delta);
+  const auto gamma = core::assignment_proportions(assignment, k);
+  float sum = 0.0f;
+  for (float g : gamma) sum += g;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+
+  const auto parts = core::partition_by_assignment(assignment, k);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, assignment.size());
+  for (int i = 0; i < k; ++i) {
+    for (int row : parts[static_cast<std::size_t>(i)]) {
+      EXPECT_EQ(assignment[static_cast<std::size_t>(row)], i);
+    }
+  }
+}
+
+TEST_P(GateInvariantSweep, ControllerTargetIsFeasibleDistribution) {
+  Rng rng(GetParam() + 500);
+  const int k = 2 + rng.randint(0, 6);
+  // Random gamma on the simplex.
+  std::vector<float> gamma(static_cast<std::size_t>(k));
+  float norm = 0.0f;
+  for (auto& g : gamma) {
+    g = rng.uniform(0.0f, 1.0f);
+    norm += g;
+  }
+  for (auto& g : gamma) g /= norm;
+
+  const float gain = rng.uniform(0.05f, 0.95f);
+  const auto target = core::controller_target(gamma, gain);
+  float sum = 0.0f;
+  for (float t : target) {
+    EXPECT_GE(t, 0.0f) << "targets must be achievable proportions";
+    sum += t;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST_P(GateInvariantSweep, ControllerPushesAgainstBias) {
+  Rng rng(GetParam() + 900);
+  const int k = 2 + rng.randint(0, 4);
+  std::vector<float> gamma(static_cast<std::size_t>(k),
+                           1.0f / static_cast<float>(k));
+  // Perturb one expert upward, renormalize.
+  gamma[0] += 0.3f;
+  float norm = 0.0f;
+  for (float g : gamma) norm += g;
+  for (auto& g : gamma) g /= norm;
+  const auto target = core::controller_target(gamma, 0.5f);
+  EXPECT_LT(target[0], gamma[0])
+      << "over-served expert must be assigned a smaller share";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateInvariantSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- autograd linearity ------------------------------------------------------
+
+class AutogradLinearitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutogradLinearitySweep, GradientOfSumIsSumOfGradients) {
+  // d(f + g)/dx == df/dx + dg/dx for random small graphs.
+  Rng rng(GetParam());
+  Tensor x0 = Tensor::randn({4, 3}, rng);
+  Tensor w = Tensor::randn({3, 2}, rng);
+
+  auto grad_of = [&](auto builder) {
+    ag::Var x(x0.clone(), true);
+    ag::backward(builder(x));
+    return x.grad().clone();
+  };
+  auto f = [&](const ag::Var& x) {
+    return ag::sum_all(ag::matmul(x, ag::constant(w.clone())));
+  };
+  auto g = [&](const ag::Var& x) { return ag::sum_all(ag::tanh(x)); };
+  auto fg = [&](const ag::Var& x) { return ag::add(f(x), g(x)); };
+
+  Tensor expected = ops::add(grad_of(f), grad_of(g));
+  EXPECT_TRUE(grad_of(fg).allclose(expected, 1e-4f));
+}
+
+TEST_P(AutogradLinearitySweep, ScalingInputScalesGradient) {
+  Rng rng(GetParam() + 77);
+  Tensor x0 = Tensor::randn({5}, rng);
+  const float c = rng.uniform(0.5f, 3.0f);
+
+  ag::Var a(x0.clone(), true);
+  ag::backward(ag::sum_all(ag::mul_scalar(ag::square(a), c)));
+  ag::Var b(x0.clone(), true);
+  ag::backward(ag::sum_all(ag::square(b)));
+  EXPECT_TRUE(a.grad().allclose(ops::mul_scalar(b.grad(), c), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradLinearitySweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- serialization corruption robustness ------------------------------------
+
+class CorruptionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionSweep, TruncatedCheckpointsThrowNotCrash) {
+  Rng rng(GetParam());
+  nn::MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.depth = 2;
+  cfg.hidden = 4;
+  nn::MlpNet model(cfg, rng);
+  const std::string bytes = nn::serialize_parameters(model);
+
+  // Truncation at a random point must throw a typed error.
+  const std::size_t cut = 1 + static_cast<std::size_t>(rng.randint(
+                                  0, static_cast<int>(bytes.size()) - 2));
+  nn::MlpNet target(cfg, rng);
+  EXPECT_THROW(nn::deserialize_parameters(bytes.substr(0, cut), target), Error);
+}
+
+TEST_P(CorruptionSweep, HeaderCorruptionIsRejected) {
+  Rng rng(GetParam() + 40);
+  nn::MlpConfig cfg;
+  cfg.in_features = 6;
+  cfg.depth = 2;
+  cfg.hidden = 4;
+  nn::MlpNet model(cfg, rng);
+  std::string bytes = nn::serialize_parameters(model);
+  // Flip a byte in the header region (magic/version/count/rank/dims).
+  const std::size_t pos = static_cast<std::size_t>(rng.randint(0, 16));
+  bytes[pos] = static_cast<char>(bytes[pos] ^ 0xFF);
+  nn::MlpNet target(cfg, rng);
+  EXPECT_THROW(nn::deserialize_parameters(bytes, target), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace teamnet

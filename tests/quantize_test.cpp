@@ -1,0 +1,105 @@
+// 8-bit quantized weight shipping: error bounds, size savings, and
+// behaviour preservation on a trained model.
+#include <gtest/gtest.h>
+
+#include "data/blobs.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optim.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+
+namespace teamnet {
+namespace {
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({64, 32}, rng, 0.0f, 2.0f);
+  nn::QuantizedTensor q = nn::quantize(t);
+  Tensor back = nn::dequantize(q);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(back[i] - t[i]), q.scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(Quantize, ConstantTensorIsExact) {
+  Tensor t = Tensor::full({10}, 3.25f);
+  Tensor back = nn::dequantize(nn::quantize(t));
+  EXPECT_TRUE(back.allclose(t));
+}
+
+TEST(Quantize, ExtremesMapExactly) {
+  Tensor t({3}, {-1.5f, 0.0f, 2.5f});
+  Tensor back = nn::dequantize(nn::quantize(t));
+  EXPECT_NEAR(back[0], -1.5f, 1e-6f);
+  EXPECT_NEAR(back[2], 2.5f, 1e-6f);
+}
+
+TEST(Quantize, SnapshotIsRoughlyFourTimesSmaller) {
+  Rng rng(2);
+  nn::MlpConfig cfg;
+  cfg.depth = 4;
+  cfg.hidden = 64;
+  nn::MlpNet model(cfg, rng);
+  const std::string full = nn::serialize_parameters(model);
+  const std::string quantized = nn::serialize_parameters_quantized(model);
+  EXPECT_LT(quantized.size() * 3, full.size())
+      << "uint8 payload should be ~4x smaller than float32";
+}
+
+TEST(Quantize, TrainedModelSurvivesQuantizedDeployment) {
+  data::BlobsConfig bc;
+  bc.num_samples = 400;
+  auto ds = data::make_blobs(bc);
+  Rng rng(3);
+  nn::MlpConfig cfg;
+  cfg.in_features = bc.dims;
+  cfg.num_classes = static_cast<int>(bc.num_classes);
+  cfg.depth = 3;
+  cfg.hidden = 16;
+  nn::MlpNet model(cfg, rng);
+  nn::Sgd opt(model.parameters(), {});
+  Rng srng(4);
+  data::BatchIterator it(ds, 32, &srng);
+  for (int e = 0; e < 5; ++e) {
+    it.reset();
+    for (auto b = it.next(); b.size() > 0; b = it.next()) {
+      ag::backward(nn::cross_entropy_loss(model.forward(ag::constant(b.x)), b.y));
+      opt.step();
+    }
+  }
+  model.set_training(false);
+  const double full_acc = nn::accuracy(model.predict(ds.images), ds.labels);
+  ASSERT_GT(full_acc, 0.9);
+
+  nn::MlpNet deployed(cfg, rng);
+  nn::deserialize_parameters_quantized(
+      nn::serialize_parameters_quantized(model), deployed);
+  deployed.set_training(false);
+  const double q_acc = nn::accuracy(deployed.predict(ds.images), ds.labels);
+  EXPECT_GT(q_acc, full_acc - 0.05)
+      << "8-bit deployment should cost at most a few points";
+}
+
+TEST(Quantize, RejectsCorruptStreams) {
+  Rng rng(5);
+  nn::MlpConfig cfg;
+  cfg.in_features = 4;
+  cfg.depth = 2;
+  cfg.hidden = 4;
+  nn::MlpNet model(cfg, rng);
+  std::string bytes = nn::serialize_parameters_quantized(model);
+  EXPECT_THROW(
+      nn::deserialize_parameters_quantized(bytes.substr(0, bytes.size() / 2),
+                                           model),
+      SerializationError);
+  bytes[0] = 'X';
+  EXPECT_THROW(nn::deserialize_parameters_quantized(bytes, model),
+               SerializationError);
+  EXPECT_THROW(nn::deserialize_parameters_quantized("", model),
+               SerializationError);
+}
+
+}  // namespace
+}  // namespace teamnet

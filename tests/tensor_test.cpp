@@ -1,0 +1,250 @@
+// Unit tests for the Tensor value type and the raw math kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace teamnet {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2);
+  for (float v : t.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromValuesAndAccessors) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  t.at(1, 0) = 7.0f;
+  EXPECT_EQ(t[2], 7.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), InvariantError);
+}
+
+TEST(Tensor, OutOfRangeAccessThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), InvariantError);
+  EXPECT_THROW(t.at(0), InvariantError);  // wrong rank
+}
+
+TEST(Tensor, ReshapeSharesBuffer) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor v = t.reshape({3, 2});
+  v.at(0, 0) = 42.0f;
+  EXPECT_EQ(t.at(0, 0), 42.0f);
+}
+
+TEST(Tensor, ReshapeInfersDimension) {
+  Tensor t({4, 6});
+  EXPECT_EQ(t.reshape({2, -1}).dim(1), 12);
+  EXPECT_EQ(t.reshape({-1}).dim(0), 24);
+  EXPECT_THROW(t.reshape({5, -1}), InvariantError);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, {1, 2});
+  Tensor c = t.clone();
+  c[0] = 9.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, RandnDeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  Tensor ta = Tensor::randn({8}, a);
+  Tensor tb = Tensor::randn({8}, b);
+  Tensor tc = Tensor::randn({8}, c);
+  EXPECT_TRUE(ta.allclose(tb));
+  EXPECT_FALSE(ta.allclose(tc));
+}
+
+TEST(Ops, AddSameShape) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  Tensor c = ops::add(a, b);
+  EXPECT_TRUE(c.allclose(Tensor({2, 2}, {11, 22, 33, 44})));
+}
+
+TEST(Ops, RowBroadcast) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row({1, 3}, {10, 20, 30});
+  Tensor c = ops::add(a, row);
+  EXPECT_TRUE(c.allclose(Tensor({2, 3}, {11, 22, 33, 14, 25, 36})));
+}
+
+TEST(Ops, ColBroadcast) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col({2, 1}, {10, 100});
+  Tensor c = ops::mul(a, col);
+  EXPECT_TRUE(c.allclose(Tensor({2, 3}, {10, 20, 30, 400, 500, 600})));
+}
+
+TEST(Ops, ScalarBroadcastBothSides) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor s({1}, {2});
+  EXPECT_TRUE(ops::mul(a, s).allclose(Tensor({2, 2}, {2, 4, 6, 8})));
+  EXPECT_TRUE(ops::sub(s, a).allclose(Tensor({2, 2}, {1, 0, -1, -2})));
+}
+
+TEST(Ops, IncompatibleBroadcastThrows) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  EXPECT_THROW(ops::add(a, b), InvalidArgument);
+}
+
+TEST(Ops, ReduceToShapeInvertsBroadcast) {
+  Tensor g({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(ops::reduce_to_shape(g, {1, 3}).allclose(Tensor({1, 3}, {5, 7, 9})));
+  EXPECT_TRUE(ops::reduce_to_shape(g, {2, 1}).allclose(Tensor({2, 1}, {6, 15})));
+  Tensor s = ops::reduce_to_shape(g, {1});
+  EXPECT_FLOAT_EQ(s[0], 21.0f);
+}
+
+TEST(Ops, MatmulMatchesManual) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_TRUE(c.allclose(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({2, 3})), InvariantError);
+}
+
+TEST(Gemm, VariantsAgreeWithNaive) {
+  Rng rng(7);
+  const std::int64_t m = 5, k = 4, n = 6;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c_ref({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t p = 0; p < k; ++p)
+        c_ref[i * n + j] += a[i * k + p] * b[p * n + j];
+
+  Tensor c({m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  EXPECT_TRUE(c.allclose(c_ref, 1e-4f));
+
+  // A^T variant: pass a transposed copy of A.
+  Tensor at = ops::transpose(a);
+  Tensor c_tn({m, n});
+  gemm_tn_accumulate(at.data(), b.data(), c_tn.data(), m, k, n);
+  EXPECT_TRUE(c_tn.allclose(c_ref, 1e-4f));
+
+  // B^T variant.
+  Tensor bt = ops::transpose(b);
+  Tensor c_nt({m, n});
+  gemm_nt_accumulate(a.data(), bt.data(), c_nt.data(), m, k, n);
+  EXPECT_TRUE(c_nt.allclose(c_ref, 1e-4f));
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({4, 7}, rng, 0.0f, 5.0f);
+  Tensor p = ops::softmax_rows(logits);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      EXPECT_GE(p[i * 7 + j], 0.0f);
+      sum += p[i * 7 + j];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxNumericallyStableForHugeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1000.0f, -1000.0f});
+  Tensor p = ops::softmax_rows(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[2], 0.0f, 1e-5f);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(5);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  Tensor lsm = ops::log_softmax_rows(logits);
+  Tensor sm = ops::softmax_rows(logits);
+  for (std::int64_t i = 0; i < lsm.numel(); ++i) {
+    EXPECT_NEAR(lsm[i], std::log(sm[i]), 1e-5f);
+  }
+}
+
+TEST(Ops, ArgminArgmaxRows) {
+  Tensor a({2, 3}, {3, 1, 2, 0, 5, -1});
+  EXPECT_EQ(ops::argmin_rows(a), (std::vector<int>{1, 2}));
+  EXPECT_EQ(ops::argmax_rows(a), (std::vector<int>{0, 1}));
+}
+
+TEST(Ops, TakeRowsAndConcat) {
+  Tensor a({3, 2}, {0, 1, 2, 3, 4, 5});
+  Tensor sel = ops::take_rows(a, {2, 0});
+  EXPECT_TRUE(sel.allclose(Tensor({2, 2}, {4, 5, 0, 1})));
+  Tensor cat = ops::concat_rows({sel, a});
+  EXPECT_EQ(cat.dim(0), 5);
+  EXPECT_EQ(cat.at(4, 1), 5.0f);
+  EXPECT_THROW(ops::take_rows(a, {3}), InvariantError);
+}
+
+TEST(Ops, SumMeanAxis) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(ops::sum_axis(a, 0).allclose(Tensor({1, 3}, {5, 7, 9})));
+  EXPECT_TRUE(ops::sum_axis(a, 1).allclose(Tensor({2, 1}, {6, 15})));
+  EXPECT_TRUE(ops::mean_axis(a, 1).allclose(Tensor({2, 1}, {2, 5})));
+  EXPECT_FLOAT_EQ(ops::sum_all(a), 21.0f);
+  EXPECT_FLOAT_EQ(ops::mean_all(a), 3.5f);
+  EXPECT_FLOAT_EQ(ops::max_all(a), 6.0f);
+}
+
+TEST(Im2Col, IdentityKernelRoundTrip) {
+  // 1x1 kernel, stride 1: im2col is a permuted copy of the input.
+  Rng rng(11);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor cols = im2col(x, 1, 1, 0);
+  EXPECT_EQ(cols.dim(0), 2 * 4 * 4);
+  EXPECT_EQ(cols.dim(1), 3);
+  // Element [n=1, c=2, y=3, x=0] should be cols[(1*4+3)*4+0, 2].
+  EXPECT_FLOAT_EQ(cols.at((1 * 4 + 3) * 4 + 0, 2), x.at(1, 2, 3, 0));
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  Tensor x = Tensor::ones({1, 1, 2, 2});
+  Tensor cols = im2col(x, 3, 1, 1);
+  // Top-left output location: only the bottom-right 2x2 sub-window is real.
+  const float* row = cols.data();
+  EXPECT_EQ(row[0], 0.0f);  // out-of-bounds corner
+  EXPECT_EQ(row[4], 1.0f);  // center hits (0,0)
+}
+
+TEST(Im2Col, Col2ImIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining adjoint
+  // property that makes the conv backward pass correct.
+  Rng rng(13);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  Tensor cx = im2col(x, 3, 2, 1);
+  Tensor y = Tensor::randn(cx.shape(), rng);
+  Tensor aty = col2im(y, x.shape(), 3, 2, 1);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cx.numel(); ++i) lhs += cx[i] * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * aty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2Col, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(16, 3, 1, 1), 16);
+  EXPECT_EQ(conv_out_dim(16, 3, 2, 1), 8);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace teamnet
