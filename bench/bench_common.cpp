@@ -28,8 +28,8 @@ void save_telemetry(const std::string& path,
                     const core::ConvergenceTelemetry& tel) {
   std::ofstream os(path);
   for (std::size_t t = 0; t < tel.iterations(); ++t) {
-    for (float g : tel.gamma_bar_history[t]) os << g << ' ';
-    os << tel.objective_history[t] << ' ' << tel.gate_iterations[t] << '\n';
+    for (float g : tel.gamma_bar(t)) os << g << ' ';
+    os << tel.objective(t) << ' ' << tel.gate_iters(t) << '\n';
   }
 }
 

@@ -1,0 +1,50 @@
+# Warning and sanitizer presets shared by every TeamNet target.
+#
+# Usage: include() once at the top level, then call
+# teamnet_apply_build_flags(<target>) on every library and executable.
+# Sanitizer instrumentation is attached PUBLIC so it propagates to anything
+# that links an instrumented library — mixing instrumented and plain TUs in
+# one process is what breaks sanitizer builds, so the whole tree opts in
+# together.
+#
+#   TEAMNET_SANITIZE = off | address | undefined | thread | asan+ubsan
+#   TEAMNET_WERROR   = ON to promote warnings to errors (the CI default)
+
+set(TEAMNET_SANITIZE "off" CACHE STRING
+    "Sanitizer preset: off, address, undefined, thread, or asan+ubsan")
+set_property(CACHE TEAMNET_SANITIZE PROPERTY STRINGS
+             off address undefined thread asan+ubsan)
+option(TEAMNET_WERROR "Treat compiler warnings as errors" OFF)
+
+if(TEAMNET_SANITIZE STREQUAL "off")
+  set(TEAMNET_SANITIZE_FLAGS "")
+elseif(TEAMNET_SANITIZE STREQUAL "address")
+  set(TEAMNET_SANITIZE_FLAGS -fsanitize=address -fno-omit-frame-pointer)
+elseif(TEAMNET_SANITIZE STREQUAL "undefined")
+  set(TEAMNET_SANITIZE_FLAGS -fsanitize=undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+elseif(TEAMNET_SANITIZE STREQUAL "asan+ubsan")
+  set(TEAMNET_SANITIZE_FLAGS -fsanitize=address,undefined
+      -fno-sanitize-recover=all -fno-omit-frame-pointer)
+elseif(TEAMNET_SANITIZE STREQUAL "thread")
+  set(TEAMNET_SANITIZE_FLAGS -fsanitize=thread -fno-omit-frame-pointer)
+else()
+  message(FATAL_ERROR
+          "TEAMNET_SANITIZE=${TEAMNET_SANITIZE} is not a known preset "
+          "(expected off, address, undefined, thread, or asan+ubsan)")
+endif()
+
+if(NOT TEAMNET_SANITIZE STREQUAL "off")
+  message(STATUS "TeamNet sanitizer preset: ${TEAMNET_SANITIZE}")
+endif()
+
+function(teamnet_apply_build_flags target)
+  target_compile_options(${target} PRIVATE -Wall -Wextra)
+  if(TEAMNET_WERROR)
+    target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(TEAMNET_SANITIZE_FLAGS)
+    target_compile_options(${target} PUBLIC ${TEAMNET_SANITIZE_FLAGS})
+    target_link_options(${target} PUBLIC ${TEAMNET_SANITIZE_FLAGS})
+  endif()
+endfunction()

@@ -10,8 +10,7 @@
 //
 //   ./edge_node train  --experts 2 --out /tmp/team            # once
 //   ./edge_node worker --listen 7001 --weights /tmp/team/expert1.tnet
-//   ./edge_node master --workers 127.0.0.1:7001 \
-//                      --weights /tmp/team/expert0.tnet
+//   ./edge_node master --workers 127.0.0.1:7001 --weights /tmp/team/expert0.tnet
 //
 // The demo subcommand runs all three roles in one process:
 //

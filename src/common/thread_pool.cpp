@@ -40,12 +40,33 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // One contiguous block per worker, not one task per item: a million-item
+  // loop costs `size()` queue operations and futures instead of a million.
+  const std::size_t num_blocks = std::min(n, workers_.size());
+  const std::size_t base = n / num_blocks;
+  const std::size_t extra = n % num_blocks;
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([i, &fn] { fn(i); }));
+  futures.reserve(num_blocks);
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t end = begin + base + (b < extra ? 1 : 0);
+    futures.push_back(submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
   }
-  for (auto& future : futures) future.get();
+  // Wait for every block before surfacing the first failure: bailing on the
+  // first get() would destroy futures whose tasks are still running against
+  // the caller's `fn` reference.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace teamnet

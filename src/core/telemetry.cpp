@@ -4,12 +4,13 @@ namespace teamnet::core {
 
 std::vector<float> ConvergenceTelemetry::smoothed_gamma(
     std::size_t t, std::size_t window) const {
-  TEAMNET_CHECK(t < gamma_bar_history.size() && window > 0);
-  const std::size_t k = gamma_bar_history[t].size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TEAMNET_CHECK(t < gamma_bar_history_.size() && window > 0);
+  const std::size_t k = gamma_bar_history_[t].size();
   const std::size_t lo = t + 1 >= window ? t + 1 - window : 0;
   std::vector<float> mean(k, 0.0f);
   for (std::size_t s = lo; s <= t; ++s) {
-    for (std::size_t i = 0; i < k; ++i) mean[i] += gamma_bar_history[s][i];
+    for (std::size_t i = 0; i < k; ++i) mean[i] += gamma_bar_history_[s][i];
   }
   const float denom = static_cast<float>(t - lo + 1);
   for (auto& v : mean) v /= denom;

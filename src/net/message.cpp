@@ -1,40 +1,20 @@
 #include "net/message.hpp"
 
-#include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/raw_bytes.hpp"
 #include "nn/serialize.hpp"
 
 namespace teamnet::net {
 
-namespace {
-
-template <typename T>
-void write_pod(std::string& out, const T& value) {
-  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(const std::string& in, std::size_t& offset) {
-  if (offset + sizeof(T) > in.size()) {
-    throw SerializationError("truncated message");
-  }
-  T value{};
-  std::memcpy(&value, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return value;
-}
-
-}  // namespace
-
 std::string Message::encode() const {
   std::string out;
   out.reserve(static_cast<std::size_t>(encoded_size()));
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(type));
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(ints.size()));
-  for (std::int64_t v : ints) write_pod<std::int64_t>(out, v);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+  write_raw(out, static_cast<std::uint32_t>(type));
+  write_raw(out, checked_narrow<std::uint32_t>(ints.size()));
+  for (std::int64_t v : ints) write_raw(out, v);
+  write_raw(out, checked_narrow<std::uint32_t>(tensors.size()));
   for (const Tensor& t : tensors) {
     std::ostringstream os(std::ios::binary);
     nn::write_tensor(os, t);
@@ -46,14 +26,14 @@ std::string Message::encode() const {
 Message Message::decode(const std::string& bytes) {
   Message msg;
   std::size_t offset = 0;
-  msg.type = static_cast<MsgType>(read_pod<std::uint32_t>(bytes, offset));
-  const auto n_ints = read_pod<std::uint32_t>(bytes, offset);
+  msg.type = static_cast<MsgType>(read_raw<std::uint32_t>(bytes, offset));
+  const auto n_ints = read_raw<std::uint32_t>(bytes, offset);
   if (n_ints > (1u << 20)) throw SerializationError("implausible int count");
   msg.ints.reserve(n_ints);
   for (std::uint32_t i = 0; i < n_ints; ++i) {
-    msg.ints.push_back(read_pod<std::int64_t>(bytes, offset));
+    msg.ints.push_back(read_raw<std::int64_t>(bytes, offset));
   }
-  const auto n_tensors = read_pod<std::uint32_t>(bytes, offset);
+  const auto n_tensors = read_raw<std::uint32_t>(bytes, offset);
   if (n_tensors > (1u << 16)) throw SerializationError("implausible tensor count");
   std::istringstream is(bytes.substr(offset), std::ios::binary);
   for (std::uint32_t i = 0; i < n_tensors; ++i) {

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -16,14 +17,20 @@ namespace teamnet::net {
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw NetworkError(what + ": " + std::strerror(errno));
+// errno discipline (tools/lint.py rule `errno-capture`): every syscall
+// failure path saves errno into a local before doing anything else — string
+// building, close(), setsockopt() and even allocation may clobber it.
+[[noreturn]] void throw_errno(const std::string& what, int err) {
+  throw NetworkError(what + ": " + std::strerror(err));
 }
 
 void send_all(int fd, const char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n <= 0) throw_errno("send");
+    if (n <= 0) {
+      const int err = errno;
+      throw_errno("send", err);
+    }
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -33,7 +40,10 @@ void recv_all(int fd, char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::recv(fd, data, len, 0);
     if (n == 0) throw NetworkError("peer closed connection");
-    if (n < 0) throw_errno("recv");
+    if (n < 0) {
+      const int err = errno;
+      throw_errno("recv", err);
+    }
     data += n;
     len -= static_cast<std::size_t>(n);
   }
@@ -82,13 +92,14 @@ class TcpChannel final : public Channel {
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     char header[8];
     const ssize_t n = ::recv(fd_, header, sizeof(header), MSG_PEEK);
+    const int err = errno;  // before setsockopt below can clobber it
     timeval off{};
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof(off));
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n < 0 && (err == EAGAIN || err == EWOULDBLOCK)) {
       return std::nullopt;
     }
     if (n == 0) throw NetworkError("peer closed connection");
-    if (n < 0) throw_errno("recv");
+    if (n < 0) throw_errno("recv", err);
     return recv();
   }
 
@@ -100,7 +111,10 @@ class TcpChannel final : public Channel {
 
 TcpListener::TcpListener(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
+  if (fd_ < 0) {
+    const int err = errno;
+    throw_errno("socket", err);
+  }
   int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -109,17 +123,20 @@ TcpListener::TcpListener(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;  // close() below would overwrite it
     ::close(fd_);
-    throw_errno("bind");
+    throw_errno("bind", err);
   }
   if (::listen(fd_, 16) != 0) {
+    const int err = errno;
     ::close(fd_);
-    throw_errno("listen");
+    throw_errno("listen", err);
   }
   socklen_t addr_len = sizeof(addr);
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const int err = errno;
     ::close(fd_);
-    throw_errno("getsockname");
+    throw_errno("getsockname", err);
   }
   port_ = ntohs(addr.sin_port);
 }
@@ -130,7 +147,10 @@ TcpListener::~TcpListener() {
 
 ChannelPtr TcpListener::accept() {
   const int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) throw_errno("accept");
+  if (client < 0) {
+    const int err = errno;
+    throw_errno("accept", err);
+  }
   return std::make_unique<TcpChannel>(client);
 }
 
@@ -146,7 +166,10 @@ ChannelPtr tcp_connect(const std::string& host, std::uint16_t port) {
   constexpr int kAttempts = 50;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket");
+    if (fd < 0) {
+      const int err = errno;
+      throw_errno("socket", err);
+    }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       return std::make_unique<TcpChannel>(fd);
     }

@@ -1,31 +1,43 @@
 #include "net/transport.hpp"
 
 #include <chrono>
-#include <cstring>
 
 #include "common/error.hpp"
+#include "common/raw_bytes.hpp"
 
 namespace teamnet::net {
 
 namespace {
 
-/// One direction of an in-process pipe.
+/// One direction of an in-process pipe. Closing wakes blocked readers;
+/// already-queued messages stay readable until drained.
 struct ByteQueue {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<std::string> messages;
+  bool closed = false;
 
   void push(std::string bytes) {
     {
       std::lock_guard<std::mutex> lock(mutex);
+      if (closed) throw NetworkError("channel closed");
       messages.push_back(std::move(bytes));
     }
     cv.notify_one();
   }
 
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+
   std::string pop() {
     std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return !messages.empty(); });
+    cv.wait(lock, [this] { return closed || !messages.empty(); });
+    if (messages.empty()) throw NetworkError("channel closed");
     std::string bytes = std::move(messages.front());
     messages.pop_front();
     return bytes;
@@ -35,8 +47,9 @@ struct ByteQueue {
     std::unique_lock<std::mutex> lock(mutex);
     const bool got = cv.wait_for(
         lock, std::chrono::duration<double>(seconds),
-        [this] { return !messages.empty(); });
+        [this] { return closed || !messages.empty(); });
     if (!got) return std::nullopt;
+    if (messages.empty()) throw NetworkError("channel closed");
     std::string bytes = std::move(messages.front());
     messages.pop_front();
     return bytes;
@@ -52,6 +65,10 @@ class InProcChannel final : public Channel {
   std::string recv() override { return in_->pop(); }
   std::optional<std::string> recv_timeout(double seconds) override {
     return in_->pop_timeout(seconds);
+  }
+  void close() override {
+    out_->close();
+    in_->close();
   }
 
  private:
@@ -75,7 +92,7 @@ class SimChannel final : public Channel {
     const double now = clock_.node_time(self_);
     std::string stamped;
     stamped.reserve(bytes.size() + sizeof(double));
-    stamped.append(reinterpret_cast<const char*>(&now), sizeof(double));
+    write_raw(stamped, now);
     stamped += bytes;
     inner_->send(std::move(stamped));
   }
@@ -91,11 +108,12 @@ class SimChannel final : public Channel {
     return unstamp(std::move(*stamped));
   }
 
+  void close() override { inner_->close(); }
+
  private:
   std::string unstamp(std::string stamped) {
-    TEAMNET_CHECK(stamped.size() >= sizeof(double));
-    double send_time = 0.0;
-    std::memcpy(&send_time, stamped.data(), sizeof(double));
+    std::size_t offset = 0;
+    const double send_time = read_raw<double>(stamped, offset);
     const auto payload_bytes =
         static_cast<std::int64_t>(stamped.size() - sizeof(double));
     clock_.deliver(self_, send_time, payload_bytes, link_);

@@ -36,6 +36,10 @@ class Channel {
     (void)seconds;
     return recv();
   }
+  /// Shuts the channel down: subsequent (and currently blocked) recv calls
+  /// fail with NetworkError once drained. Error-recovery paths use this to
+  /// unblock peer threads instead of leaking them. Default: no-op.
+  virtual void close() {}
 };
 
 using ChannelPtr = std::unique_ptr<Channel>;

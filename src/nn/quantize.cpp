@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/raw_bytes.hpp"
 #include "nn/serialize.hpp"
 
 namespace teamnet::nn {
@@ -12,22 +13,6 @@ namespace teamnet::nn {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'N', 'Q', '1'};
-
-template <typename T>
-void write_pod(std::string& out, const T& value) {
-  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(const std::string& in, std::size_t& offset) {
-  if (offset + sizeof(T) > in.size()) {
-    throw SerializationError("truncated quantized stream");
-  }
-  T value{};
-  std::memcpy(&value, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return value;
-}
 
 }  // namespace
 
@@ -68,14 +53,14 @@ std::string serialize_parameters_quantized(Module& module) {
   const std::vector<Tensor> tensors = snapshot_parameters(module);
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  write_pod<std::uint64_t>(out, tensors.size());
+  write_raw(out, static_cast<std::uint64_t>(tensors.size()));
   for (const Tensor& t : tensors) {
     const QuantizedTensor q = quantize(t);
-    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(q.shape.size()));
-    for (std::int64_t d : q.shape) write_pod<std::int64_t>(out, d);
-    write_pod<float>(out, q.min);
-    write_pod<float>(out, q.scale);
-    out.append(reinterpret_cast<const char*>(q.data.data()), q.data.size());
+    write_raw(out, checked_narrow<std::uint32_t>(q.shape.size()));
+    for (std::int64_t d : q.shape) write_raw(out, d);
+    write_raw(out, q.min);
+    write_raw(out, q.scale);
+    write_raw_array(out, q.data.data(), q.data.size());
   }
   return out;
 }
@@ -87,29 +72,24 @@ void deserialize_parameters_quantized(const std::string& bytes, Module& module) 
     throw SerializationError("bad magic — not a quantized TeamNet snapshot");
   }
   offset += sizeof(kMagic);
-  const auto count = read_pod<std::uint64_t>(bytes, offset);
+  const auto count = read_raw<std::uint64_t>(bytes, offset);
   if (count > (1u << 20)) throw SerializationError("implausible tensor count");
 
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     QuantizedTensor q;
-    const auto rank = read_pod<std::uint32_t>(bytes, offset);
+    const auto rank = read_raw<std::uint32_t>(bytes, offset);
     if (rank > 8) throw SerializationError("implausible tensor rank");
     q.shape.resize(rank);
     for (auto& d : q.shape) {
-      d = read_pod<std::int64_t>(bytes, offset);
+      d = read_raw<std::int64_t>(bytes, offset);
       if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
     }
-    q.min = read_pod<float>(bytes, offset);
-    q.scale = read_pod<float>(bytes, offset);
-    const auto n = static_cast<std::size_t>(q.numel());
-    if (offset + n > bytes.size()) {
-      throw SerializationError("truncated quantized data");
-    }
-    q.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset),
-                  bytes.begin() + static_cast<std::ptrdiff_t>(offset + n));
-    offset += n;
+    q.min = read_raw<float>(bytes, offset);
+    q.scale = read_raw<float>(bytes, offset);
+    q.data.resize(static_cast<std::size_t>(q.numel()));
+    read_raw_array(bytes, offset, q.data.data(), q.data.size());
     tensors.push_back(dequantize(q));
   }
   restore_parameters(module, tensors);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/raw_bytes.hpp"
 
 namespace teamnet::nn {
 
@@ -13,63 +14,47 @@ namespace {
 constexpr char kMagic[4] = {'T', 'N', 'E', 'T'};
 constexpr std::uint32_t kVersion = 2;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw SerializationError("truncated stream");
-  return value;
-}
-
 }  // namespace
 
 void write_tensor(std::ostream& os, const Tensor& t) {
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
-  for (std::int64_t d = 0; d < t.rank(); ++d) write_pod<std::int64_t>(os, t.dim(d));
-  os.write(reinterpret_cast<const char*>(t.data()),
-           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  write_raw(os, checked_narrow<std::uint32_t>(t.rank()));
+  for (std::int64_t d = 0; d < t.rank(); ++d) write_raw(os, t.dim(d));
+  write_raw_array(os, t.data(), static_cast<std::size_t>(t.numel()));
   if (!os) throw SerializationError("tensor write failed");
 }
 
 Tensor read_tensor(std::istream& is) {
-  const auto rank = read_pod<std::uint32_t>(is);
+  const auto rank = read_raw<std::uint32_t>(is);
   if (rank > 8) throw SerializationError("implausible tensor rank");
   Shape shape(rank);
   for (auto& d : shape) {
-    d = read_pod<std::int64_t>(is);
+    d = read_raw<std::int64_t>(is);
     if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
   }
   Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!is) throw SerializationError("truncated tensor data");
+  read_raw_array(is, t.data(), static_cast<std::size_t>(t.numel()));
   return t;
 }
 
 void save_tensors(std::ostream& os, const std::vector<Tensor>& tensors) {
-  os.write(kMagic, sizeof(kMagic));
-  write_pod<std::uint32_t>(os, kVersion);
-  write_pod<std::uint64_t>(os, tensors.size());
+  write_raw_array(os, kMagic, sizeof(kMagic));
+  write_raw(os, kVersion);
+  write_raw(os, static_cast<std::uint64_t>(tensors.size()));
   for (const auto& t : tensors) write_tensor(os, t);
 }
 
 std::vector<Tensor> load_tensors(std::istream& is) {
   char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  read_raw_array(is, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw SerializationError("bad magic — not a TeamNet checkpoint");
   }
-  const auto version = read_pod<std::uint32_t>(is);
+  const auto version = read_raw<std::uint32_t>(is);
   if (version != kVersion) {
     throw SerializationError("unsupported checkpoint version " +
                              std::to_string(version));
   }
-  const auto count = read_pod<std::uint64_t>(is);
+  const auto count = read_raw<std::uint64_t>(is);
   if (count > (1u << 20)) throw SerializationError("implausible tensor count");
   std::vector<Tensor> tensors;
   tensors.reserve(count);

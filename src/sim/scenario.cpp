@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/logging.hpp"
 #include "core/entropy.hpp"
 #include "moe/moe_serving.hpp"
 #include "mpi/partitioned.hpp"
@@ -14,6 +15,29 @@
 namespace teamnet::sim {
 
 namespace {
+
+/// Wraps a worker thread body: a worker that dies on a closed channel (the
+/// master's error-recovery path) must exit its thread cleanly, not call
+/// std::terminate through an escaped exception.
+template <typename Fn>
+std::thread spawn_worker(Fn fn) {
+  return std::thread([fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (const Error& e) {
+      LOG_WARN("scenario worker thread exiting on error: " << e.what());
+    }
+  });
+}
+
+/// Closes every channel in a sim mesh, waking any thread blocked in recv.
+void close_mesh(std::vector<std::vector<net::ChannelPtr>>& mesh) {
+  for (auto& row : mesh) {
+    for (auto& ch : row) {
+      if (ch) ch->close();
+    }
+  }
+}
 
 /// Picks `n` query rows from the test set (deterministic per seed).
 std::vector<int> sample_queries(const data::Dataset& test, int n,
@@ -98,7 +122,7 @@ ScenarioResult run_teamnet_heterogeneous(
         *mesh[static_cast<std::size_t>(i)][0]));
     workers.back()->set_compute_hook(
         make_hook(clock, i, devices[static_cast<std::size_t>(i)], nullptr));
-    threads.emplace_back([w = workers.back().get()] { w->serve(); });
+    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
   }
 
   std::vector<net::Channel*> worker_channels;
@@ -113,13 +137,20 @@ ScenarioResult run_teamnet_heterogeneous(
   std::size_t correct = 0;
   const std::int64_t bytes_before = clock.bytes_delivered();
   const std::int64_t msgs_before = clock.messages_delivered();
-  for (int row : queries) {
-    const double t0 = clock.node_time(0);
-    auto res = master.infer(query_tensor(test, row));
-    total_latency += clock.node_time(0) - t0;
-    if (res.predictions[0] == test.labels[static_cast<std::size_t>(row)]) {
-      ++correct;
+  try {
+    for (int row : queries) {
+      const double t0 = clock.node_time(0);
+      auto res = master.infer(query_tensor(test, row));
+      total_latency += clock.node_time(0) - t0;
+      if (res.predictions[0] == test.labels[static_cast<std::size_t>(row)]) {
+        ++correct;
+      }
     }
+  } catch (...) {
+    // Wake workers blocked in recv, join them, then surface the error.
+    close_mesh(mesh);
+    for (auto& t : threads) t.join();
+    throw;
   }
   const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
   const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
@@ -205,15 +236,33 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
     }
   };
 
+  // A rank that throws records the first error and closes the mesh so the
+  // surviving ranks (blocked in collectives) fail fast instead of
+  // deadlocking; every thread is always joined before the error resurfaces.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto rank_guarded = [&](int rank) {
+    try {
+      rank_main(rank);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      close_mesh(mesh);
+    }
+  };
+
   const std::int64_t bytes_before = clock.bytes_delivered();
   const std::int64_t msgs_before = clock.messages_delivered();
   const double t0 = clock.node_time(0);
   std::vector<std::thread> threads;
   for (int r = 1; r < num_nodes; ++r) {
-    threads.emplace_back(rank_main, r);
+    threads.emplace_back(rank_guarded, r);
   }
-  rank_main(0);
+  rank_guarded(0);
   for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   const double total_latency = clock.node_time(0) - t0;
 
   ScenarioResult result;
@@ -290,7 +339,7 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
         model.expert(i), *mesh[static_cast<std::size_t>(i)][0]));
     workers.back()->set_compute_hook(
         make_hook(clock, i, config.device, nullptr));
-    threads.emplace_back([w = workers.back().get()] { w->serve(); });
+    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
   }
 
   std::vector<net::Channel*> worker_channels;
@@ -304,10 +353,16 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
   double total_latency = 0.0;
   const std::int64_t bytes_before = clock.bytes_delivered();
   const std::int64_t msgs_before = clock.messages_delivered();
-  for (int row : queries) {
-    const double t0 = clock.node_time(0);
-    master.infer(query_tensor(test, row));
-    total_latency += clock.node_time(0) - t0;
+  try {
+    for (int row : queries) {
+      const double t0 = clock.node_time(0);
+      master.infer(query_tensor(test, row));
+      total_latency += clock.node_time(0) - t0;
+    }
+  } catch (...) {
+    close_mesh(mesh);
+    for (auto& t : threads) t.join();
+    throw;
   }
   const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
   const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;

@@ -1,0 +1,135 @@
+// Fuzz-ish robustness tests for the byte-level decoders: every truncation,
+// a sweep of single-byte corruptions, and random garbage must surface as a
+// clean teamnet::Error — never UB. Run these under -DTEAMNET_SANITIZE=asan+ubsan
+// to give the checks teeth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/raw_bytes.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+#include "nn/serialize.hpp"
+
+namespace teamnet {
+namespace {
+
+net::Message sample_message() {
+  Rng rng(99);
+  net::Message msg;
+  msg.type = net::MsgType::Result;
+  msg.ints = {1, -2, 3'000'000'000LL};
+  msg.tensors = {Tensor::randn({3, 5}, rng), Tensor::randn({7}, rng)};
+  return msg;
+}
+
+TEST(MessageFuzz, EveryTruncationThrowsCleanly) {
+  const std::string bytes = sample_message().encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)net::Message::decode(bytes.substr(0, len)),
+                 SerializationError)
+        << "truncation to " << len << " of " << bytes.size()
+        << " bytes must not decode";
+  }
+}
+
+TEST(MessageFuzz, SingleByteCorruptionNeverCrashes) {
+  const std::string pristine = sample_message().encode();
+  for (std::size_t pos = 0; pos < pristine.size(); ++pos) {
+    for (const unsigned char flip : {0x01u, 0x80u, 0xFFu}) {
+      std::string bytes = pristine;
+      bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                     flip);
+      try {
+        (void)net::Message::decode(bytes);  // may succeed with altered payload
+      } catch (const Error&) {
+        // Structured rejection (truncated / implausible) is the other
+        // acceptable outcome. Anything else — std::bad_alloc from a wild
+        // length, a crash, a sanitizer report — fails the test or build.
+      }
+    }
+  }
+}
+
+TEST(MessageFuzz, RandomGarbageEitherDecodesOrThrowsError) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes(static_cast<std::size_t>(rng.randint(0, 64)), '\0');
+    for (auto& c : bytes) c = static_cast<char>(rng.randint(0, 255));
+    try {
+      (void)net::Message::decode(bytes);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(CheckpointFuzz, TruncatedTensorStreamThrows) {
+  Rng rng(3);
+  std::ostringstream os(std::ios::binary);
+  nn::save_tensors(os, {Tensor::randn({4, 4}, rng), Tensor::randn({2}, rng)});
+  const std::string full = os.str();
+  for (std::size_t len = 0; len < full.size(); len += 3) {
+    std::istringstream is(full.substr(0, len), std::ios::binary);
+    EXPECT_THROW((void)nn::load_tensors(is), SerializationError)
+        << "at truncation length " << len;
+  }
+  // The untouched stream still loads.
+  std::istringstream ok(full, std::ios::binary);
+  EXPECT_EQ(nn::load_tensors(ok).size(), 2u);
+}
+
+TEST(RawBytes, RoundTripAndCursor) {
+  std::string buf;
+  write_raw(buf, std::uint32_t{0xDEADBEEF});
+  write_raw(buf, -1.5);
+  write_raw(buf, std::int64_t{-42});
+  std::size_t offset = 0;
+  EXPECT_EQ(read_raw<std::uint32_t>(buf, offset), 0xDEADBEEFu);
+  EXPECT_EQ(read_raw<double>(buf, offset), -1.5);
+  EXPECT_EQ(read_raw<std::int64_t>(buf, offset), -42);
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_THROW((void)read_raw<char>(buf, offset), SerializationError);
+}
+
+TEST(RawBytes, ReadPastEndThrowsEvenAtHugeOffsets) {
+  const std::string buf(8, 'x');
+  // A cursor beyond the buffer must not wrap around in the bounds check.
+  std::size_t offset = static_cast<std::size_t>(-4);
+  EXPECT_THROW((void)read_raw<std::int64_t>(buf, offset), SerializationError);
+  offset = 6;
+  EXPECT_THROW((void)read_raw<std::int64_t>(buf, offset), SerializationError);
+}
+
+TEST(RawBytes, ArrayBoundsChecked) {
+  std::string buf;
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  write_raw_array(buf, values, 3);
+  float back[3] = {};
+  std::size_t offset = 0;
+  read_raw_array(buf, offset, back, 3);
+  EXPECT_EQ(back[2], 3.0f);
+  offset = 4;
+  EXPECT_THROW(read_raw_array(buf, offset, back, 3), SerializationError);
+}
+
+TEST(RawBytes, CheckedNarrowAcceptsFittingValues) {
+  EXPECT_EQ(checked_narrow<std::uint32_t>(std::size_t{12}), 12u);
+  EXPECT_EQ(checked_narrow<std::int64_t>(std::uint32_t{7}), 7);
+  EXPECT_EQ(checked_narrow<std::uint32_t>((std::uint64_t{1} << 32) - 1),
+            0xFFFFFFFFu);
+}
+
+TEST(RawBytes, CheckedNarrowRejectsOverflowAndSignLoss) {
+  EXPECT_THROW((void)checked_narrow<std::uint32_t>(std::uint64_t{1} << 32),
+               SerializationError);
+  EXPECT_THROW((void)checked_narrow<std::uint32_t>(std::int64_t{-1}),
+               SerializationError);
+  EXPECT_THROW((void)checked_narrow<std::int32_t>(
+                   std::uint64_t{0x8000'0000}),
+               SerializationError);
+}
+
+}  // namespace
+}  // namespace teamnet

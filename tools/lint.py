@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""TeamNet repo-specific lint rules (see DESIGN.md "Correctness tooling").
+
+Rules enforced over src/** (tests/bench/examples are exempt unless noted):
+
+  raw-cast       Byte-pointer reinterpret_casts are only allowed inside
+                 src/common/raw_bytes.hpp. Everything else must use the
+                 write_raw/read_raw helpers, which static_assert
+                 trivially-copyable and bounds-check every read.
+
+  module-deps    A module may #include only its own headers and those of
+                 modules its CMake target links against. Reaching across
+                 library boundaries (e.g. nn/ including net/) knots the
+                 dependency graph and breaks standalone module builds.
+
+  errno-capture  errno may only be read by saving it into a local
+                 (`const int err = errno;`) immediately after the failing
+                 call. Comparing or formatting errno later is a bug:
+                 close(), setsockopt(), even allocation can clobber it.
+
+Suppress a finding with `// lint:allow(<rule>)` on the offending line.
+
+Usage:
+  tools/lint.py              lint the whole tree
+  tools/lint.py FILE...      lint specific files (CI lints changed files)
+  tools/lint.py --self-test  prove each rule fires on a seeded violation
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Mirrors target_link_libraries() in src/*/CMakeLists.txt. A module may
+# include headers from itself and from any module listed here.
+MODULE_DEPS = {
+    "common": set(),
+    "tensor": {"common"},
+    "nn": {"tensor", "common"},
+    "data": {"tensor", "common"},
+    "core": {"nn", "data", "tensor", "common"},
+    "net": {"core", "nn", "tensor", "common"},
+    "moe": {"net", "nn", "data", "tensor", "common"},
+    "mpi": {"net", "core", "nn", "tensor", "common"},
+    "sim": {"mpi", "moe", "net", "core", "nn", "data", "tensor", "common"},
+}
+
+RAW_CAST_RE = re.compile(
+    r"reinterpret_cast<\s*(?:const\s+)?(?:unsigned\s+)?"
+    r"(?:char|signed\s+char|std::byte|std::uint8_t|uint8_t)\s*\*\s*>"
+)
+RAW_CAST_ALLOWED = {SRC / "common" / "raw_bytes.hpp"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+ERRNO_RE = re.compile(r"\berrno\b")
+ERRNO_SAVE_RE = re.compile(r"(?:int|auto)\s+\w+\s*=\s*errno\s*;")
+SUPPRESS_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
+        self.path, self.line, self.rule, self.msg = path, line, rule, msg
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def stripped_lines(text: str) -> list[str]:
+    """Source lines with block/line comments and string literals blanked
+    (line count preserved, so indices keep matching the original file)."""
+    text = BLOCK_COMMENT_RE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    out = []
+    for line in text.split("\n"):
+        if not INCLUDE_RE.match(line):  # include paths are quoted strings
+            line = STRING_RE.sub('""', line)
+        out.append(LINE_COMMENT_RE.sub("", line))
+    return out
+
+
+def suppressions(text: str) -> dict[int, set[str]]:
+    allowed: dict[int, set[str]] = {}
+    for i, line in enumerate(text.split("\n"), start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            allowed.setdefault(i, set()).add(m.group(1))
+    return allowed
+
+
+def check_raw_cast(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    if not str(path).startswith(str(SRC)) or path in RAW_CAST_ALLOWED:
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if RAW_CAST_RE.search(line):
+            findings.append(Finding(
+                path, i, "raw-cast",
+                "byte-pointer reinterpret_cast outside common/raw_bytes.hpp; "
+                "use write_raw/read_raw (static_assert + bounds checks)"))
+    return findings
+
+
+def check_module_deps(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    try:
+        rel = path.relative_to(SRC)
+    except ValueError:
+        return []
+    module = rel.parts[0]
+    allowed = MODULE_DEPS.get(module)
+    if allowed is None:
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target = m.group(1).split("/")[0]
+        if target not in MODULE_DEPS:
+            continue  # not a module-qualified include
+        if target != module and target not in allowed:
+            findings.append(Finding(
+                path, i, "module-deps",
+                f"src/{module} must not include \"{m.group(1)}\": "
+                f"{target} is not a linked dependency of teamnet_{module}"))
+    return findings
+
+
+def check_errno(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    if not str(path).startswith(str(SRC)):
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if not ERRNO_RE.search(line):
+            continue
+        if ERRNO_SAVE_RE.search(line) or "#include" in line:
+            continue
+        findings.append(Finding(
+            path, i, "errno-capture",
+            "errno must be captured with `const int err = errno;` right "
+            "after the failing call, not read later (intervening calls "
+            "clobber it)"))
+    return findings
+
+
+CHECKS = [check_raw_cast, check_module_deps, check_errno]
+
+
+def lint_file(path: pathlib.Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return []
+    code = stripped_lines(text)
+    allowed = suppressions(text)
+    findings = []
+    for check in CHECKS:
+        for f in check(path, code):
+            if f.rule not in allowed.get(f.line, set()):
+                findings.append(f)
+    return findings
+
+
+def default_targets() -> list[pathlib.Path]:
+    return sorted(p for p in SRC.rglob("*")
+                  if p.suffix in {".cpp", ".hpp", ".h", ".cc"})
+
+
+def self_test() -> int:
+    """Each rule must fire on a seeded violation and stay quiet on the fix."""
+    cases = [
+        ("raw-cast", SRC / "nn" / "seeded.cpp",
+         "out.append(reinterpret_cast<const char*>(&v), sizeof(v));\n", True),
+        ("raw-cast", SRC / "nn" / "seeded.cpp",
+         "write_raw(out, v);\n", False),
+        ("raw-cast", SRC / "common" / "raw_bytes.hpp",
+         "out.append(reinterpret_cast<const char*>(&v), sizeof(v));\n", False),
+        ("module-deps", SRC / "nn" / "seeded.cpp",
+         '#include "net/tcp.hpp"\n', True),
+        ("module-deps", SRC / "nn" / "seeded.cpp",
+         '#include "tensor/tensor.hpp"\n', False),
+        ("errno-capture", SRC / "net" / "seeded.cpp",
+         "if (errno == EAGAIN) return;\n", True),
+        ("errno-capture", SRC / "net" / "seeded.cpp",
+         "const int err = errno;\n", False),
+        ("errno-capture", SRC / "net" / "seeded.cpp",
+         "// errno is mentioned in prose only\n", False),
+    ]
+    failures = 0
+    for rule, path, snippet, should_fire in cases:
+        code = stripped_lines(snippet)
+        fired = any(f.rule == rule
+                    for check in CHECKS for f in check(path, code))
+        verdict = "fired" if fired else "quiet"
+        want = "fire" if should_fire else "stay quiet"
+        ok = fired == should_fire
+        if not ok:
+            failures += 1
+        print(f"{'ok  ' if ok else 'FAIL'} [{rule}] {snippet.strip()[:60]!r} "
+              f"-> {verdict} (expected to {want})")
+    if failures:
+        print(f"self-test: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="files to lint (default: all of src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule catches a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    targets = [p.resolve() for p in args.files] if args.files \
+        else default_targets()
+    findings = []
+    for path in targets:
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"tools/lint.py: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
