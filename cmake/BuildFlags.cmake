@@ -7,14 +7,35 @@
 # one process is what breaks sanitizer builds, so the whole tree opts in
 # together.
 #
-#   TEAMNET_SANITIZE = off | address | undefined | thread | asan+ubsan
-#   TEAMNET_WERROR   = ON to promote warnings to errors (the CI default)
+#   TEAMNET_SANITIZE      = off | address | undefined | thread | asan+ubsan
+#   TEAMNET_WERROR        = ON to promote warnings to errors (the CI default)
+#   TEAMNET_THREAD_SAFETY = ON for clang's compile-time capability analysis
+#                           (-Wthread-safety -Wthread-safety-beta -Werror);
+#                           proves lock discipline on ALL paths, not just the
+#                           interleavings TSan happens to execute
+#   TEAMNET_FUZZ          = ON to build the libFuzzer harnesses in fuzz/
+#                           (clang only; the corpus-replay ctest cases build
+#                           with every compiler regardless)
 
 set(TEAMNET_SANITIZE "off" CACHE STRING
     "Sanitizer preset: off, address, undefined, thread, or asan+ubsan")
 set_property(CACHE TEAMNET_SANITIZE PROPERTY STRINGS
              off address undefined thread asan+ubsan)
 option(TEAMNET_WERROR "Treat compiler warnings as errors" OFF)
+option(TEAMNET_THREAD_SAFETY
+       "Enable clang -Wthread-safety capability analysis as errors" OFF)
+option(TEAMNET_FUZZ "Build libFuzzer harnesses (requires clang)" OFF)
+
+if(TEAMNET_THREAD_SAFETY AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+          "TEAMNET_THREAD_SAFETY=ON requires clang (the capability analysis "
+          "is a clang extension); configure with -DCMAKE_CXX_COMPILER=clang++")
+endif()
+if(TEAMNET_FUZZ AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+          "TEAMNET_FUZZ=ON requires clang (libFuzzer ships with clang); "
+          "configure with -DCMAKE_CXX_COMPILER=clang++")
+endif()
 
 if(TEAMNET_SANITIZE STREQUAL "off")
   set(TEAMNET_SANITIZE_FLAGS "")
@@ -42,6 +63,12 @@ function(teamnet_apply_build_flags target)
   target_compile_options(${target} PRIVATE -Wall -Wextra)
   if(TEAMNET_WERROR)
     target_compile_options(${target} PRIVATE -Werror)
+  endif()
+  if(TEAMNET_THREAD_SAFETY)
+    # Always -Werror: a thread-safety finding is a lock-discipline bug, and
+    # an advisory warning on a build nobody reads is how races ship.
+    target_compile_options(${target} PRIVATE
+                           -Wthread-safety -Wthread-safety-beta -Werror)
   endif()
   if(TEAMNET_SANITIZE_FLAGS)
     target_compile_options(${target} PUBLIC ${TEAMNET_SANITIZE_FLAGS})

@@ -1,0 +1,112 @@
+// The decode contract, defined once and driven three ways: by the libFuzzer
+// harnesses (fuzz_*.cpp), by the corpus-replay ctest binaries
+// (replay_main.cpp, built with every compiler), and by the hand-rolled
+// mutation loops in tests/serialize_fuzz_test.cpp. Keeping one definition
+// means ctest and libFuzzer can never drift apart on what "robust decode"
+// means.
+//
+// Contract for every target: an ARBITRARY input byte string either decodes
+// successfully (returns true) or is rejected with a teamnet::Error
+// (returns false). Any other outcome is a bug:
+//   * crash / sanitizer report / std::bad_alloc from a wild length,
+//   * a non-teamnet exception escaping,
+//   * a violated postcondition — reported as std::logic_error, which no
+//     caller catches, so libFuzzer (and gtest) flag it loudly.
+#pragma once
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/gate_policy.hpp"
+#include "net/message.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+
+namespace teamnet::fuzz {
+
+/// Wire-message decoder (net::Message::decode — the bytes every Channel
+/// carries).
+inline bool message_decode(const std::string& bytes) {
+  try {
+    (void)net::Message::decode(bytes);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// Checkpoint decoder (nn::load_tensors — model snapshots and the weight
+/// deployment path).
+inline bool checkpoint_decode(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    (void)nn::load_tensors(is);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// Quantized-snapshot decoder (nn::dequantize_snapshot — the ~4x-smaller
+/// expert-weight transfer format).
+inline bool quantize_decode(const std::string& bytes) {
+  try {
+    (void)nn::dequantize_snapshot(bytes);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// Gate-policy robustness. Input layout: byte 0 selects the expert count
+/// (1..8), byte 1 the policy kind, byte 2 the batch size (1..32); the rest
+/// is reinterpreted as raw little-endian floats — deliberately including
+/// NaN/Inf/denormal bit patterns, which garbage expert probabilities can
+/// produce as entropies at runtime. decide() must return a well-formed
+/// assignment (one expert index per row, each in [0, K)) or throw a
+/// teamnet::Error.
+inline bool gate_policy_decide(const std::string& bytes) {
+  if (bytes.size() < 3) return false;
+  const auto byte_at = [&bytes](std::size_t i) {
+    return static_cast<unsigned char>(bytes[i]);
+  };
+  const int k = 1 + byte_at(0) % 8;
+  const auto kind = static_cast<core::GateKind>(byte_at(1) % 4);
+  const std::int64_t n = 1 + byte_at(2) % 32;
+
+  std::vector<float> entropies(static_cast<std::size_t>(n * k), 0.5f);
+  const std::size_t available = (bytes.size() - 3) / sizeof(float);
+  const std::size_t n_floats = std::min(entropies.size(), available);
+  if (n_floats > 0) {
+    std::memcpy(entropies.data(), bytes.data() + 3, n_floats * sizeof(float));
+  }
+  Tensor entropy({n, static_cast<std::int64_t>(k)}, std::move(entropies));
+
+  core::GateTrainerConfig config;
+  config.max_iterations = 8;  // keep the learned gate's inner loop fuzz-fast
+  const std::uint64_t seed = static_cast<std::uint64_t>(byte_at(0)) |
+                             static_cast<std::uint64_t>(byte_at(1)) << 8 |
+                             static_cast<std::uint64_t>(byte_at(2)) << 16;
+  try {
+    auto policy = core::make_gate_policy(kind, k, config, Rng(seed));
+    const core::GateDecision decision = policy->decide(entropy);
+    if (decision.assignment.size() != static_cast<std::size_t>(n)) {
+      throw std::logic_error("gate contract: assignment size != batch rows");
+    }
+    for (const int a : decision.assignment) {
+      if (a < 0 || a >= k) {
+        throw std::logic_error("gate contract: expert index out of range");
+      }
+    }
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace teamnet::fuzz

@@ -1,0 +1,5 @@
+// libFuzzer harness for the checkpoint decoder (nn::load_tensors).
+#include "decode_targets.hpp"
+#include "fuzz_harness.hpp"
+
+TEAMNET_FUZZ_TARGET(teamnet::fuzz::checkpoint_decode)

@@ -1,0 +1,6 @@
+// libFuzzer harness for gate-policy robustness (core::GatePolicy::decide
+// over arbitrary — including non-finite — entropy matrices).
+#include "decode_targets.hpp"
+#include "fuzz_harness.hpp"
+
+TEAMNET_FUZZ_TARGET(teamnet::fuzz::gate_policy_decide)

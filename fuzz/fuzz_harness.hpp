@@ -1,0 +1,19 @@
+// Shared libFuzzer harness glue: TEAMNET_FUZZ_TARGET(fn) expands to the
+// LLVMFuzzerTestOneInput entry point for one decode-contract function from
+// decode_targets.hpp. The same TU links either against libFuzzer
+// (-fsanitize=fuzzer, TEAMNET_FUZZ=ON, clang) or against replay_main.cpp,
+// which feeds every checked-in corpus file through the identical entry
+// point as a ctest case in regular builds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#define TEAMNET_FUZZ_TARGET(target_fn)                                      \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,           \
+                                        std::size_t size) {                 \
+    const std::string bytes(reinterpret_cast<const char*>(data), size);     \
+    (void)target_fn(bytes);                                                 \
+    return 0;                                                               \
+  }

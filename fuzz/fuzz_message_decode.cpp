@@ -1,0 +1,5 @@
+// libFuzzer harness for the wire-message decoder (net::Message::decode).
+#include "decode_targets.hpp"
+#include "fuzz_harness.hpp"
+
+TEAMNET_FUZZ_TARGET(teamnet::fuzz::message_decode)

@@ -1,0 +1,6 @@
+// libFuzzer harness for the quantized-snapshot decoder
+// (nn::dequantize_snapshot).
+#include "decode_targets.hpp"
+#include "fuzz_harness.hpp"
+
+TEAMNET_FUZZ_TARGET(teamnet::fuzz::quantize_decode)

@@ -2,7 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/annotations.hpp"
 
 namespace teamnet::log {
 
@@ -18,9 +19,8 @@ bool enabled(Level level) {
          static_cast<int>(threshold().load(std::memory_order_relaxed));
 }
 
-namespace detail {
-
 namespace {
+
 const char* level_tag(Level level) {
   switch (level) {
     case Level::Debug: return "DEBUG";
@@ -32,19 +32,39 @@ const char* level_tag(Level level) {
   return "?????";
 }
 
-std::mutex& emit_mutex() {
-  static std::mutex m;
-  return m;
+/// The one log sink. Every level writes through emit() under `mutex` — the
+/// stream pointer and the write itself share a single critical section, so
+/// set_sink() can never race a half-written line. Leaf lock: nothing else
+/// is acquired while it is held.
+struct Sink {
+  Mutex mutex;
+  std::FILE* stream TN_GUARDED_BY(mutex) = nullptr;  ///< nullptr = stderr
+};
+
+Sink& sink() {
+  static Sink s;
+  return s;
 }
+
 }  // namespace
+
+void set_sink(std::FILE* stream) {
+  Sink& s = sink();
+  MutexLock lock(s.mutex);
+  s.stream = stream;
+}
+
+namespace detail {
 
 void emit(Level level, const std::string& message) {
   using clock = std::chrono::steady_clock;
   static const auto start = clock::now();
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(emit_mutex());
-  std::fprintf(stderr, "[%8.3fs %s] %s\n", elapsed, level_tag(level),
+  Sink& s = sink();
+  MutexLock lock(s.mutex);
+  std::FILE* out = s.stream != nullptr ? s.stream : stderr;
+  std::fprintf(out, "[%8.3fs %s] %s\n", elapsed, level_tag(level),
                message.c_str());
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -19,6 +20,11 @@ void set_level(Level level);
 
 /// True when messages at `level` are currently emitted.
 bool enabled(Level level);
+
+/// Redirects all subsequent log output (every level — there is one sink,
+/// guarded by one mutex) to `stream`; nullptr restores stderr. The caller
+/// keeps ownership and must not close the stream while logging may occur.
+void set_sink(std::FILE* stream);
 
 namespace detail {
 void emit(Level level, const std::string& message);

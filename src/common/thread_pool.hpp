@@ -1,17 +1,20 @@
 // Fixed-size thread pool used to run experts / simulated edge nodes in
 // parallel. Kept intentionally small: submit() returns a std::future, and
 // parallel_for partitions an index range across the workers.
+//
+// Lock hierarchy: the single `mutex_` guards the task queue and the stop
+// flag; it is a leaf lock (no other TeamNet lock is ever acquired while it
+// is held — submitted tasks run strictly outside the lock).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace teamnet {
 
@@ -33,7 +36,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -47,10 +50,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ TN_GUARDED_BY(mutex_);
+  bool stopping_ TN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace teamnet

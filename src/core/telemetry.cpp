@@ -4,7 +4,7 @@ namespace teamnet::core {
 
 std::vector<float> ConvergenceTelemetry::smoothed_gamma(
     std::size_t t, std::size_t window) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TEAMNET_CHECK(t < gamma_bar_history_.size() && window > 0);
   const std::size_t k = gamma_bar_history_[t].size();
   const std::size_t lo = t + 1 >= window ? t + 1 - window : 0;

@@ -1,17 +1,20 @@
 // Per-iteration training telemetry: the quantities Figures 6 and 8 of the
 // paper plot (the proportion of each batch assigned to each expert).
 //
-// Thread-safe: record() and every accessor take an internal mutex so
+// Thread-safe: record() and every accessor take the internal `mutex_` so
 // concurrent expert trainers (and the race stress tests) can write and read
 // one instance without external locking. Copy/move are supported — the
-// bench harness snapshots trainer telemetry by value — and lock the source.
+// bench harness snapshots trainer telemetry by value — and lock BOTH
+// instances via MutexPairLock (std::lock ordering), so concurrent a=b; b=a
+// cannot deadlock. `mutex_` is a leaf lock: no other lock is acquired
+// while it is held.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace teamnet::core {
@@ -24,7 +27,7 @@ class ConvergenceTelemetry {
 
   ConvergenceTelemetry& operator=(const ConvergenceTelemetry& other) {
     if (this != &other) {
-      std::scoped_lock lock(mutex_, other.mutex_);
+      MutexPairLock lock(mutex_, other.mutex_);
       gamma_bar_history_ = other.gamma_bar_history_;
       objective_history_ = other.objective_history_;
       gate_iterations_ = other.gate_iterations_;
@@ -33,7 +36,7 @@ class ConvergenceTelemetry {
   }
 
   ConvergenceTelemetry(ConvergenceTelemetry&& other) {
-    std::lock_guard<std::mutex> lock(other.mutex_);
+    MutexLock lock(other.mutex_);
     gamma_bar_history_ = std::move(other.gamma_bar_history_);
     objective_history_ = std::move(other.objective_history_);
     gate_iterations_ = std::move(other.gate_iterations_);
@@ -41,7 +44,7 @@ class ConvergenceTelemetry {
 
   ConvergenceTelemetry& operator=(ConvergenceTelemetry&& other) {
     if (this != &other) {
-      std::scoped_lock lock(mutex_, other.mutex_);
+      MutexPairLock lock(mutex_, other.mutex_);
       gamma_bar_history_ = std::move(other.gamma_bar_history_);
       objective_history_ = std::move(other.objective_history_);
       gate_iterations_ = std::move(other.gate_iterations_);
@@ -51,48 +54,48 @@ class ConvergenceTelemetry {
 
   /// Appends one training iteration's gate statistics.
   void record(const std::vector<float>& gamma_bar, float objective, int iters) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     gamma_bar_history_.push_back(gamma_bar);
     objective_history_.push_back(objective);
     gate_iterations_.push_back(iters);
   }
 
   std::size_t iterations() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return gamma_bar_history_.size();
   }
 
   /// Snapshot of gamma_bar at iteration t (inner size = num experts).
   std::vector<float> gamma_bar(std::size_t t) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TEAMNET_CHECK(t < gamma_bar_history_.size());
     return gamma_bar_history_[t];
   }
 
   /// Final hard gate objective J at iteration t.
   float objective(std::size_t t) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TEAMNET_CHECK(t < objective_history_.size());
     return objective_history_[t];
   }
 
   /// Gate inner-loop iterations spent on batch t.
   int gate_iters(std::size_t t) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TEAMNET_CHECK(t < gate_iterations_.size());
     return gate_iterations_[t];
   }
 
   /// Maximum |gamma_bar_i - 1/K| at iteration t.
   float max_deviation(std::size_t t) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return max_deviation_locked(t);
   }
 
   /// First iteration after which max_deviation stays below `tol` for
   /// `window` consecutive iterations; -1 when never converged.
   int iterations_to_converge(float tol, int window) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     int run = 0;
     for (std::size_t t = 0; t < gamma_bar_history_.size(); ++t) {
       run = max_deviation_locked(t) < tol ? run + 1 : 0;
@@ -106,7 +109,7 @@ class ConvergenceTelemetry {
   std::vector<float> smoothed_gamma(std::size_t t, std::size_t window) const;
 
  private:
-  float max_deviation_locked(std::size_t t) const {
+  float max_deviation_locked(std::size_t t) const TN_REQUIRES(mutex_) {
     TEAMNET_CHECK(t < gamma_bar_history_.size());
     const auto& g = gamma_bar_history_[t];
     const float set_point = 1.0f / static_cast<float>(g.size());
@@ -115,10 +118,10 @@ class ConvergenceTelemetry {
     return worst;
   }
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<float>> gamma_bar_history_;
-  std::vector<float> objective_history_;
-  std::vector<int> gate_iterations_;
+  mutable Mutex mutex_;
+  std::vector<std::vector<float>> gamma_bar_history_ TN_GUARDED_BY(mutex_);
+  std::vector<float> objective_history_ TN_GUARDED_BY(mutex_);
+  std::vector<int> gate_iterations_ TN_GUARDED_BY(mutex_);
 };
 
 }  // namespace teamnet::core

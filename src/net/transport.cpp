@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/raw_bytes.hpp"
 
@@ -11,15 +12,20 @@ namespace {
 
 /// One direction of an in-process pipe. Closing wakes blocked readers;
 /// already-queued messages stay readable until drained.
+///
+/// Lock hierarchy: `mutex` is a leaf lock guarding `messages` + `closed`;
+/// notify calls sit outside the critical section (the woken waiter must
+/// reacquire the lock anyway, so this only avoids a pointless contention
+/// bounce, it does not change visibility).
 struct ByteQueue {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::string> messages;
-  bool closed = false;
+  Mutex mutex;
+  CondVar cv;
+  std::deque<std::string> messages TN_GUARDED_BY(mutex);
+  bool closed TN_GUARDED_BY(mutex) = false;
 
   void push(std::string bytes) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (closed) throw NetworkError("channel closed");
       messages.push_back(std::move(bytes));
     }
@@ -28,27 +34,39 @@ struct ByteQueue {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       closed = true;
     }
     cv.notify_all();
   }
 
   std::string pop() {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [this] { return closed || !messages.empty(); });
-    if (messages.empty()) throw NetworkError("channel closed");
-    std::string bytes = std::move(messages.front());
-    messages.pop_front();
-    return bytes;
+    MutexLock lock(mutex);
+    while (!closed && messages.empty()) cv.wait(mutex);
+    return take_front_locked();
   }
 
   std::optional<std::string> pop_timeout(double seconds) {
-    std::unique_lock<std::mutex> lock(mutex);
-    const bool got = cv.wait_for(
-        lock, std::chrono::duration<double>(seconds),
-        [this] { return closed || !messages.empty(); });
-    if (!got) return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(seconds));
+    MutexLock lock(mutex);
+    while (!closed && messages.empty()) {
+      if (!cv.wait_until(mutex, deadline)) {
+        // Deadline passed; one final predicate check below decides between
+        // "timed out empty" and "message/close raced the timeout".
+        if (!closed && messages.empty()) return std::nullopt;
+        break;
+      }
+    }
+    return take_front_locked();
+  }
+
+ private:
+  /// Precondition (enforced at both call sites under the lock): the wait
+  /// loop exited, so either a message is queued or the queue is closed.
+  std::string take_front_locked() TN_REQUIRES(mutex) {
     if (messages.empty()) throw NetworkError("channel closed");
     std::string bytes = std::move(messages.front());
     messages.pop_front();

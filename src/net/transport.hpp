@@ -9,10 +9,8 @@
 //                   charges link latency + serialization delay (benches)
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>

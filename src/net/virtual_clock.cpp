@@ -10,19 +10,19 @@ LinkProfile wifi_link() {
   return LinkProfile{0.0006, 40e6, 0.0};
 }
 
-VirtualClock::VirtualClock(int num_nodes) {
+VirtualClock::VirtualClock(int num_nodes) : num_nodes_(num_nodes) {
   TEAMNET_CHECK(num_nodes > 0);
   times_.assign(static_cast<std::size_t>(num_nodes), 0.0);
 }
 
 double VirtualClock::node_time(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TEAMNET_CHECK(node >= 0 && node < num_nodes());
   return times_[static_cast<std::size_t>(node)];
 }
 
 double VirtualClock::advance(int node, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TEAMNET_CHECK(node >= 0 && node < num_nodes());
   TEAMNET_CHECK_MSG(seconds >= 0.0, "cannot advance time backwards");
   return times_[static_cast<std::size_t>(node)] += seconds;
@@ -30,7 +30,7 @@ double VirtualClock::advance(int node, double seconds) {
 
 double VirtualClock::deliver(int to, double send_time, std::int64_t bytes,
                              const LinkProfile& link) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TEAMNET_CHECK(to >= 0 && to < num_nodes());
   // Airtime (overhead + serialization) occupies the shared medium;
   // propagation latency does not.
@@ -46,12 +46,12 @@ double VirtualClock::deliver(int to, double send_time, std::int64_t bytes,
 }
 
 double VirtualClock::max_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return *std::max_element(times_.begin(), times_.end());
 }
 
 void VirtualClock::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fill(times_.begin(), times_.end(), 0.0);
   medium_free_ = 0.0;
   bytes_ = 0;
@@ -59,12 +59,12 @@ void VirtualClock::reset() {
 }
 
 std::int64_t VirtualClock::bytes_delivered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_;
 }
 
 std::int64_t VirtualClock::messages_delivered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return messages_;
 }
 

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace teamnet::net {
@@ -38,11 +38,15 @@ struct LinkProfile {
 /// Canonical WiFi link between edge devices (calibrated in sim/calibration).
 LinkProfile wifi_link();
 
+// Thread-safety: one leaf `mutex_` guards every mutable field (per-node
+// times, the shared-medium cursor, and the traffic counters) so a delivery
+// updates all of them atomically; `num_nodes_` is immutable after
+// construction and readable without the lock.
 class VirtualClock {
  public:
   explicit VirtualClock(int num_nodes);
 
-  int num_nodes() const { return static_cast<int>(times_.size()); }
+  int num_nodes() const { return num_nodes_; }
 
   /// Current virtual time of `node` in seconds.
   double node_time(int node) const;
@@ -71,11 +75,13 @@ class VirtualClock {
   std::int64_t messages_delivered() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> times_;
-  double medium_free_ = 0.0;  ///< when the shared wireless medium frees up
-  std::int64_t bytes_ = 0;
-  std::int64_t messages_ = 0;
+  const int num_nodes_;
+  mutable Mutex mutex_;
+  std::vector<double> times_ TN_GUARDED_BY(mutex_);
+  ///< when the shared wireless medium frees up
+  double medium_free_ TN_GUARDED_BY(mutex_) = 0.0;
+  std::int64_t bytes_ TN_GUARDED_BY(mutex_) = 0;
+  std::int64_t messages_ TN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace teamnet::net

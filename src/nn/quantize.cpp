@@ -65,7 +65,7 @@ std::string serialize_parameters_quantized(Module& module) {
   return out;
 }
 
-void deserialize_parameters_quantized(const std::string& bytes, Module& module) {
+std::vector<Tensor> dequantize_snapshot(const std::string& bytes) {
   std::size_t offset = 0;
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -86,13 +86,20 @@ void deserialize_parameters_quantized(const std::string& bytes, Module& module) 
       d = read_raw<std::int64_t>(bytes, offset);
       if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
     }
+    // checked_decode_numel rejects dim products that overflow int64 (UB in
+    // shape_numel) or promise more data than any TeamNet model ships,
+    // before the resize below allocates for them.
+    q.data.resize(static_cast<std::size_t>(checked_decode_numel(q.shape)));
     q.min = read_raw<float>(bytes, offset);
     q.scale = read_raw<float>(bytes, offset);
-    q.data.resize(static_cast<std::size_t>(q.numel()));
     read_raw_array(bytes, offset, q.data.data(), q.data.size());
     tensors.push_back(dequantize(q));
   }
-  restore_parameters(module, tensors);
+  return tensors;
+}
+
+void deserialize_parameters_quantized(const std::string& bytes, Module& module) {
+  restore_parameters(module, dequantize_snapshot(bytes));
 }
 
 }  // namespace teamnet::nn

@@ -33,6 +33,12 @@ Tensor dequantize(const QuantizedTensor& q);
 /// Full module state (parameters + buffers) as a quantized byte string.
 std::string serialize_parameters_quantized(Module& module);
 
+/// Decode-only half of the quantized format: parses `bytes` and returns the
+/// dequantized tensors without needing a module. This is the entry point
+/// the fuzz harness and the robustness tests drive — any input either
+/// decodes or throws SerializationError, never UB.
+std::vector<Tensor> dequantize_snapshot(const std::string& bytes);
+
 /// Restores a quantized snapshot into the module (counts/shapes must match).
 void deserialize_parameters_quantized(const std::string& bytes, Module& module);
 

@@ -16,6 +16,18 @@ constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
+std::int64_t checked_decode_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw SerializationError("negative dimension in decoded shape");
+    if (d != 0 && n > kMaxDecodeTensorElems / d) {
+      throw SerializationError("implausible tensor size in decoded shape");
+    }
+    n *= d;
+  }
+  return n;
+}
+
 void write_tensor(std::ostream& os, const Tensor& t) {
   write_raw(os, checked_narrow<std::uint32_t>(t.rank()));
   for (std::int64_t d = 0; d < t.rank(); ++d) write_raw(os, t.dim(d));
@@ -31,6 +43,7 @@ Tensor read_tensor(std::istream& is) {
     d = read_raw<std::int64_t>(is);
     if (d < 0 || d > (1 << 28)) throw SerializationError("implausible dim");
   }
+  (void)checked_decode_numel(shape);  // reject overflow / oversize upfront
   Tensor t(shape);
   read_raw_array(is, t.data(), static_cast<std::size_t>(t.numel()));
   return t;

@@ -17,6 +17,18 @@
 
 namespace teamnet::nn {
 
+/// Largest element count a DECODER will accept for one tensor (16M floats
+/// = 64 MiB). Encoding is unbounded; the bound only rejects wire/checkpoint
+/// input whose header promises more data than any TeamNet model ships,
+/// before the decoder allocates for it. Shared by the checkpoint, message
+/// and quantized decoders so the fuzz harnesses test one contract.
+constexpr std::int64_t kMaxDecodeTensorElems = std::int64_t{1} << 24;
+
+/// Overflow-safe shape_numel for decoders: throws SerializationError when
+/// the dims are negative, multiply past INT64_MAX, or exceed
+/// kMaxDecodeTensorElems (shape_numel would be UB on the overflow case).
+std::int64_t checked_decode_numel(const Shape& shape);
+
 void write_tensor(std::ostream& os, const Tensor& t);
 Tensor read_tensor(std::istream& is);
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
 #include "moe/moe_serving.hpp"
@@ -239,14 +240,18 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
   // A rank that throws records the first error and closes the mesh so the
   // surviving ranks (blocked in collectives) fail fast instead of
   // deadlocking; every thread is always joined before the error resurfaces.
-  std::mutex error_mutex;
+  // `error_mutex` (leaf lock) guards `first_error`; both are stack locals
+  // whose lifetime spans every rank thread, joined below before either is
+  // read. Locals cannot carry TN_GUARDED_BY, so the annotated wrappers
+  // here buy the lint funnel rather than analysis coverage.
+  Mutex error_mutex;
   std::exception_ptr first_error;
   auto rank_guarded = [&](int rank) {
     try {
       rank_main(rank);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       close_mesh(mesh);

@@ -2,14 +2,22 @@
 // a sweep of single-byte corruptions, and random garbage must surface as a
 // clean teamnet::Error — never UB. Run these under -DTEAMNET_SANITIZE=asan+ubsan
 // to give the checks teeth.
+//
+// The mutation loops drive the SAME entry points as the libFuzzer harnesses
+// (fuzz/decode_targets.hpp): each target returns true (decoded) or false
+// (rejected with teamnet::Error), and anything else — a crash, a foreign
+// exception, a std::logic_error postcondition violation — escapes and fails
+// the test. One decode-contract definition, shared by ctest and libFuzzer.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
 #include "common/raw_bytes.hpp"
 #include "common/rng.hpp"
+#include "decode_targets.hpp"
 #include "net/message.hpp"
 #include "nn/serialize.hpp"
 
@@ -25,59 +33,130 @@ net::Message sample_message() {
   return msg;
 }
 
-TEST(MessageFuzz, EveryTruncationThrowsCleanly) {
-  const std::string bytes = sample_message().encode();
-  for (std::size_t len = 0; len < bytes.size(); ++len) {
-    EXPECT_THROW((void)net::Message::decode(bytes.substr(0, len)),
-                 SerializationError)
-        << "truncation to " << len << " of " << bytes.size()
-        << " bytes must not decode";
+/// Drives one decode-contract target through every truncation, a sweep of
+/// single-byte corruptions, and random garbage. The pristine input must
+/// decode; everything else must decode or cleanly reject.
+void exhaust_mutations(bool (*target)(const std::string&),
+                       const std::string& pristine, std::uint64_t seed) {
+  EXPECT_TRUE(target(pristine)) << "pristine input must decode";
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    EXPECT_NO_THROW((void)target(pristine.substr(0, len)))
+        << "truncation to " << len << " of " << pristine.size() << " bytes";
   }
-}
-
-TEST(MessageFuzz, SingleByteCorruptionNeverCrashes) {
-  const std::string pristine = sample_message().encode();
   for (std::size_t pos = 0; pos < pristine.size(); ++pos) {
     for (const unsigned char flip : {0x01u, 0x80u, 0xFFu}) {
       std::string bytes = pristine;
       bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
                                      flip);
-      try {
-        (void)net::Message::decode(bytes);  // may succeed with altered payload
-      } catch (const Error&) {
-        // Structured rejection (truncated / implausible) is the other
-        // acceptable outcome. Anything else — std::bad_alloc from a wild
-        // length, a crash, a sanitizer report — fails the test or build.
-      }
+      EXPECT_NO_THROW((void)target(bytes)) << "corruption at byte " << pos;
     }
   }
-}
-
-TEST(MessageFuzz, RandomGarbageEitherDecodesOrThrowsError) {
-  Rng rng(7);
+  Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     std::string bytes(static_cast<std::size_t>(rng.randint(0, 64)), '\0');
     for (auto& c : bytes) c = static_cast<char>(rng.randint(0, 255));
-    try {
-      (void)net::Message::decode(bytes);
-    } catch (const Error&) {
-    }
+    EXPECT_NO_THROW((void)target(bytes)) << "garbage trial " << trial;
   }
 }
 
-TEST(CheckpointFuzz, TruncatedTensorStreamThrows) {
+TEST(MessageFuzz, MutationSweepHoldsDecodeContract) {
+  exhaust_mutations(fuzz::message_decode, sample_message().encode(), 7);
+}
+
+TEST(MessageFuzz, EveryTruncationIsRejected) {
+  const std::string bytes = sample_message().encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(fuzz::message_decode(bytes.substr(0, len)))
+        << "truncation to " << len << " of " << bytes.size()
+        << " bytes must not decode";
+  }
+}
+
+TEST(CheckpointFuzz, MutationSweepHoldsDecodeContract) {
+  Rng rng(3);
+  std::ostringstream os(std::ios::binary);
+  nn::save_tensors(os, {Tensor::randn({4, 4}, rng), Tensor::randn({2}, rng)});
+  exhaust_mutations(fuzz::checkpoint_decode, os.str(), 11);
+}
+
+TEST(CheckpointFuzz, EveryTruncationIsRejected) {
   Rng rng(3);
   std::ostringstream os(std::ios::binary);
   nn::save_tensors(os, {Tensor::randn({4, 4}, rng), Tensor::randn({2}, rng)});
   const std::string full = os.str();
-  for (std::size_t len = 0; len < full.size(); len += 3) {
-    std::istringstream is(full.substr(0, len), std::ios::binary);
-    EXPECT_THROW((void)nn::load_tensors(is), SerializationError)
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(fuzz::checkpoint_decode(full.substr(0, len)))
         << "at truncation length " << len;
   }
-  // The untouched stream still loads.
-  std::istringstream ok(full, std::ios::binary);
-  EXPECT_EQ(nn::load_tensors(ok).size(), 2u);
+  EXPECT_TRUE(fuzz::checkpoint_decode(full));
+}
+
+TEST(CheckpointFuzz, OverflowingShapeProductIsRejected) {
+  // rank 8 x dims 2^28: each dim passes the per-dim bound but the product
+  // overflows int64 — shape_numel would be UB; the decoder must reject it
+  // (and must do so BEFORE allocating for the phantom payload).
+  std::ostringstream os(std::ios::binary);
+  write_raw_array(os, "TNET", 4);
+  write_raw(os, std::uint32_t{2});            // version
+  write_raw(os, std::uint64_t{1});            // tensor count
+  write_raw(os, std::uint32_t{8});            // rank
+  for (int d = 0; d < 8; ++d) write_raw(os, std::int64_t{1} << 28);
+  EXPECT_FALSE(fuzz::checkpoint_decode(os.str()));
+}
+
+TEST(QuantizeFuzz, MutationSweepHoldsDecodeContract) {
+  // A hand-built two-tensor quantized snapshot (module-free, mirroring
+  // serialize_parameters_quantized's writer).
+  std::string bytes;
+  bytes.append("TNQ1", 4);
+  write_raw(bytes, std::uint64_t{2});
+  for (const std::int64_t dim : {std::int64_t{6}, std::int64_t{3}}) {
+    write_raw(bytes, std::uint32_t{1});       // rank
+    write_raw(bytes, dim);
+    write_raw(bytes, -1.0f);                  // min
+    write_raw(bytes, 0.01f);                  // scale
+    for (std::int64_t i = 0; i < dim; ++i) {
+      write_raw(bytes, static_cast<std::uint8_t>(40 * i));
+    }
+  }
+  exhaust_mutations(fuzz::quantize_decode, bytes, 13);
+}
+
+TEST(QuantizeFuzz, OverflowingShapeProductIsRejected) {
+  std::string bytes;
+  bytes.append("TNQ1", 4);
+  write_raw(bytes, std::uint64_t{1});
+  write_raw(bytes, std::uint32_t{8});         // rank
+  for (int d = 0; d < 8; ++d) write_raw(bytes, std::int64_t{1} << 28);
+  EXPECT_FALSE(fuzz::quantize_decode(bytes));
+}
+
+TEST(GatePolicyFuzz, MutationSweepHoldsDecodeContract) {
+  // K=4, learned gate, n=8, finite entropies — then mutated every which way.
+  std::string bytes("\x03\x00\x07", 3);
+  Rng rng(17);
+  for (int i = 0; i < 32; ++i) write_raw(bytes, rng.uniform(0.0f, 2.3f));
+  exhaust_mutations(fuzz::gate_policy_decide, bytes, 19);
+}
+
+TEST(GatePolicyFuzz, NonFiniteEntropiesHoldContract) {
+  for (unsigned char kind = 0; kind < 4; ++kind) {
+    std::string bytes;
+    bytes.push_back('\x05');                  // K = 6
+    bytes.push_back(static_cast<char>(kind));
+    bytes.push_back('\x0f');                  // n = 16
+    Rng rng(23);
+    for (int i = 0; i < 96; ++i) {
+      switch (rng.randint(0, 3)) {
+        case 0: write_raw(bytes, std::numeric_limits<float>::quiet_NaN()); break;
+        case 1: write_raw(bytes, std::numeric_limits<float>::infinity()); break;
+        case 2: write_raw(bytes, -std::numeric_limits<float>::infinity()); break;
+        default: write_raw(bytes, rng.uniform(-1e38f, 1e38f)); break;
+      }
+    }
+    EXPECT_NO_THROW((void)fuzz::gate_policy_decide(bytes))
+        << "gate kind " << static_cast<int>(kind);
+  }
 }
 
 TEST(RawBytes, RoundTripAndCursor) {

@@ -18,6 +18,19 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  call. Comparing or formatting errno later is a bug:
                  close(), setsockopt(), even allocation can clobber it.
 
+  raw-mutex      Raw std::mutex / std::lock_guard / std::unique_lock /
+                 std::scoped_lock / std::condition_variable are only
+                 allowed inside src/common/annotations.hpp. Everything
+                 else must use the annotated Mutex/MutexLock/CondVar
+                 wrappers so clang's -Wthread-safety capability analysis
+                 (TEAMNET_THREAD_SAFETY=ON) sees every lock in the tree.
+
+  thread-detach  std::thread::detach() is forbidden REPO-WIDE (src, tests,
+                 bench, examples, fuzz): a detached thread outlives scope
+                 invisibly, races process teardown, and breaks the
+                 close-then-join error-recovery discipline the scenario
+                 and transport layers rely on. Threads are always joined.
+
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 
 Usage:
@@ -55,6 +68,14 @@ RAW_CAST_RE = re.compile(
     r"(?:char|signed\s+char|std::byte|std::uint8_t|uint8_t)\s*\*\s*>"
 )
 RAW_CAST_ALLOWED = {SRC / "common" / "raw_bytes.hpp"}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(?:_any)?)\b"
+)
+RAW_MUTEX_ALLOWED = {SRC / "common" / "annotations.hpp"}
+
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 ERRNO_RE = re.compile(r"\berrno\b")
@@ -153,7 +174,34 @@ def check_errno(path: pathlib.Path, code: list[str]) -> list[Finding]:
     return findings
 
 
-CHECKS = [check_raw_cast, check_module_deps, check_errno]
+def check_raw_mutex(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    if not str(path).startswith(str(SRC)) or path in RAW_MUTEX_ALLOWED:
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if RAW_MUTEX_RE.search(line):
+            findings.append(Finding(
+                path, i, "raw-mutex",
+                "raw std synchronization primitive outside "
+                "common/annotations.hpp; use the annotated Mutex/MutexLock/"
+                "CondVar wrappers (TEAMNET_THREAD_SAFETY analysis)"))
+    return findings
+
+
+def check_thread_detach(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    # Repo-wide: tests/bench/examples/fuzz are NOT exempt from this one.
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if DETACH_RE.search(line):
+            findings.append(Finding(
+                path, i, "thread-detach",
+                "std::thread::detach() is forbidden repo-wide; keep the "
+                "handle and join (close channels first to unblock peers)"))
+    return findings
+
+
+CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
+          check_thread_detach]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -172,7 +220,12 @@ def lint_file(path: pathlib.Path) -> list[Finding]:
 
 
 def default_targets() -> list[pathlib.Path]:
-    return sorted(p for p in SRC.rglob("*")
+    # src/** gets every rule; the other trees exist for the repo-wide rules
+    # (currently thread-detach) — path-gated rules skip them on their own.
+    roots = [SRC, REPO / "tests", REPO / "bench", REPO / "examples",
+             REPO / "fuzz"]
+    return sorted(p for root in roots if root.is_dir()
+                  for p in root.rglob("*")
                   if p.suffix in {".cpp", ".hpp", ".h", ".cc"})
 
 
@@ -195,6 +248,24 @@ def self_test() -> int:
          "const int err = errno;\n", False),
         ("errno-capture", SRC / "net" / "seeded.cpp",
          "// errno is mentioned in prose only\n", False),
+        ("raw-mutex", SRC / "net" / "seeded.cpp",
+         "std::lock_guard<std::mutex> lock(mutex_);\n", True),
+        ("raw-mutex", SRC / "core" / "seeded.cpp",
+         "std::condition_variable cv_;\n", True),
+        ("raw-mutex", SRC / "net" / "seeded.cpp",
+         "MutexLock lock(mutex_);\n", False),
+        ("raw-mutex", SRC / "common" / "annotations.hpp",
+         "std::mutex m_;\n", False),
+        ("raw-mutex", REPO / "tests" / "seeded.cpp",
+         "std::mutex mu;\n", False),  # src-only rule
+        ("thread-detach", SRC / "sim" / "seeded.cpp",
+         "worker.detach();\n", True),
+        ("thread-detach", REPO / "tests" / "seeded.cpp",
+         "std::thread([] {}).detach();\n", True),  # repo-wide rule
+        ("thread-detach", SRC / "sim" / "seeded.cpp",
+         "worker.join();\n", False),
+        ("thread-detach", SRC / "core" / "seeded.cpp",
+         "// delta is detached here; the meta-estimator owns it\n", False),
     ]
     failures = 0
     for rule, path, snippet, should_fire in cases:
