@@ -25,6 +25,7 @@
 #include "core/teamnet.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "net/collab.hpp"
+#include "net/fault.hpp"
 #include "net/tcp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/serialize.hpp"
@@ -89,24 +90,41 @@ int cmd_worker(std::uint16_t port, const std::string& weights) {
 }
 
 int cmd_master(const std::vector<std::string>& workers,
-               const std::string& weights) {
+               const std::string& weights, std::uint64_t chaos_seed,
+               double chaos_drop) {
   Rng rng(2);
   nn::MlpNet expert(expert_config(), rng);
   nn::load_module(weights, expert);
 
   std::vector<net::ChannelPtr> channels;
   std::vector<net::Channel*> ptrs;
+  Rng chaos_rng(chaos_seed);
   for (const auto& address : workers) {
     const auto colon = address.find(':');
     TEAMNET_CHECK_MSG(colon != std::string::npos, "worker must be host:port");
-    channels.push_back(net::tcp_connect(
+    auto channel = net::tcp_connect(
         address.substr(0, colon),
-        static_cast<std::uint16_t>(std::stoi(address.substr(colon + 1)))));
+        static_cast<std::uint16_t>(std::stoi(address.substr(colon + 1))));
+    if (chaos_seed != 0) {
+      // Chaos mode: inject seeded faults on this link so the deadline +
+      // probation machinery can be exercised against real TCP workers.
+      net::FaultProfile profile;
+      profile.seed = chaos_rng.fork(channels.size()).engine()();
+      profile.drop_prob = chaos_drop;
+      profile.duplicate_prob = chaos_drop / 2;
+      channel = net::make_faulty_channel(std::move(channel), profile);
+    }
+    channels.push_back(std::move(channel));
     ptrs.push_back(channels.back().get());
-    std::printf("master: connected to %s\n", address.c_str());
+    std::printf("master: connected to %s%s\n", address.c_str(),
+                chaos_seed != 0 ? " (chaos)" : "");
   }
 
   net::CollaborativeMaster master(expert, ptrs);
+  if (chaos_seed != 0) {
+    master.set_worker_timeout(1.0);
+    master.set_probe_interval(2);
+  }
   data::Dataset test = test_set();
   std::size_t correct = 0;
   for (std::int64_t r = 0; r < test.size(); ++r) {
@@ -122,6 +140,13 @@ int cmd_master(const std::vector<std::string>& workers,
               static_cast<long long>(test.size()),
               100.0 * static_cast<double>(correct) /
                   static_cast<double>(test.size()));
+  if (chaos_seed != 0) {
+    std::printf("master: chaos stats: %d failed, %lld stale discarded, "
+                "%lld rejoins\n",
+                master.failed_workers(),
+                static_cast<long long>(master.stale_replies_discarded()),
+                static_cast<long long>(master.rejoins()));
+  }
   master.shutdown();
   return 0;
 }
@@ -141,8 +166,9 @@ int cmd_demo() {
     net::CollaborativeWorker w(expert, *channel);
     w.serve();
   });
-  const int rc =
-      cmd_master({"127.0.0.1:" + std::to_string(port)}, dir + "/expert0.tnet");
+  const int rc = cmd_master({"127.0.0.1:" + std::to_string(port)},
+                            dir + "/expert0.tnet", /*chaos_seed=*/0,
+                            /*chaos_drop=*/0.0);
   worker.join();
   return rc;
 }
@@ -154,7 +180,12 @@ void usage() {
                "  edge_node worker --listen PORT --weights FILE\n"
                "  edge_node master --workers host:port[,host:port...] "
                "--weights FILE\n"
-               "  edge_node demo\n");
+               "                   [--chaos-seed N --chaos-drop P]\n"
+               "  edge_node demo\n"
+               "\n"
+               "--chaos-seed N (N != 0) wraps every worker link in a seeded\n"
+               "fault injector (drop rate P, default 0.05) and enables the\n"
+               "gather deadline + probation machinery.\n");
 }
 
 std::string flag_value(int argc, char** argv, const std::string& flag,
@@ -196,7 +227,10 @@ int main(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
       TEAMNET_CHECK_MSG(!workers.empty(), "--workers required");
-      return cmd_master(workers, flag_value(argc, argv, "--weights"));
+      return cmd_master(
+          workers, flag_value(argc, argv, "--weights"),
+          std::stoull(flag_value(argc, argv, "--chaos-seed", "0")),
+          std::stod(flag_value(argc, argv, "--chaos-drop", "0.05")));
     }
     if (command == "demo") return cmd_demo();
   } catch (const Error& e) {

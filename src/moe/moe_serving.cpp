@@ -1,19 +1,29 @@
 #include "moe/moe_serving.hpp"
 
+#include <string>
+
+#include "common/logging.hpp"
 #include "tensor/ops.hpp"
 
 namespace teamnet::moe {
 
 MoeMaster::MoeMaster(SgMoe& model, std::vector<net::Channel*> workers)
-    : model_(model), workers_(std::move(workers)) {
+    : model_(model),
+      workers_(std::move(workers)),
+      now_(&net::steady_seconds) {
   TEAMNET_CHECK_MSG(
       static_cast<int>(workers_.size()) == model.num_experts() - 1,
       "need one worker channel per remote expert");
   for (auto* w : workers_) TEAMNET_CHECK(w != nullptr);
 }
 
+void MoeMaster::set_time_source(net::TimeSource now) {
+  now_ = now ? std::move(now) : net::TimeSource(&net::steady_seconds);
+}
+
 MoeMaster::Result MoeMaster::infer(const Tensor& x) {
   const std::int64_t n = x.dim(0);
+  const std::int64_t qid = ++query_seq_;
 
   // Gate evaluation on the master (tiny linear layer).
   if (on_compute_) {
@@ -48,6 +58,7 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
     if (rows.empty()) continue;
     net::Message request;
     request.type = net::MsgType::Infer;
+    request.ints = {qid};
     request.tensors = {ops::take_rows(x, rows)};
     workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
   }
@@ -62,15 +73,31 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
     place(groups[0], ops::softmax_rows(model_.expert(0).predict(xi)));
   }
 
-  // Collect remote replies.
+  // Collect remote replies under ONE shared deadline; stale replies (old
+  // query ids left over from a previous timed-out query) are discarded.
+  // Unlike TeamNet's broadcast there is no degraded mode here — the routed
+  // expert's answer IS the answer — so a missed deadline throws.
+  net::GatherDeadline deadline(worker_timeout_s_, now_);
   for (int i = 1; i < model_.num_experts(); ++i) {
     const auto& rows = groups[static_cast<std::size_t>(i)];
     if (rows.empty()) continue;
-    net::Message reply = net::Message::decode(
-        workers_[static_cast<std::size_t>(i - 1)]->recv());
-    TEAMNET_CHECK(reply.type == net::MsgType::Result &&
-                  reply.tensors.size() == 2);
-    place(rows, reply.tensors[0]);
+    net::Channel& channel = *workers_[static_cast<std::size_t>(i - 1)];
+    for (;;) {
+      auto raw = deadline.recv_from(channel);
+      if (!raw) {
+        throw NetworkError("expert " + std::to_string(i) +
+                           " missed the reply deadline");
+      }
+      net::Message reply = net::Message::decode(*raw);
+      TEAMNET_CHECK(reply.type == net::MsgType::Result &&
+                    reply.tensors.size() == 2);
+      if (reply.ints.empty() || reply.ints[0] != qid) {
+        LOG_WARN("expert " << i << " sent a stale reply; discarded");
+        continue;
+      }
+      place(rows, reply.tensors[0]);
+      break;
+    }
   }
 
   result.probs = std::move(probs);
@@ -82,7 +109,22 @@ void MoeMaster::shutdown() {
   net::Message msg;
   msg.type = net::MsgType::Shutdown;
   const std::string encoded = msg.encode();
-  for (auto* worker : workers_) worker->send(encoded);
+  for (auto* worker : workers_) {
+    try {
+      worker->send(encoded);
+    } catch (const Error& e) {
+      LOG_WARN("moe shutdown send failed: " << e.what());
+    }
+  }
+  // Close every channel so a worker thread wedged in recv unblocks and can
+  // be joined; the Shutdown just sent stays readable until drained.
+  for (auto* worker : workers_) {
+    try {
+      worker->close();
+    } catch (const Error& e) {
+      LOG_WARN("moe shutdown close failed: " << e.what());
+    }
+  }
 }
 
 }  // namespace teamnet::moe

@@ -27,14 +27,27 @@ class MoeMaster {
   };
 
   Result infer(const Tensor& x);
+  /// Sends Shutdown to every worker, then closes the channels so wedged
+  /// worker threads unblock and can be joined.
   void shutdown();
 
   void set_compute_hook(net::ComputeHook hook) { on_compute_ = std::move(hook); }
+
+  /// When > 0, ONE shared deadline bounds the whole reply collection (same
+  /// discipline as net::CollaborativeMaster). A worker that misses it
+  /// throws NetworkError — SG-MoE routing has no degraded mode: the routed
+  /// expert's answer is the answer. 0 (default) = block forever.
+  void set_worker_timeout(double seconds) { worker_timeout_s_ = seconds; }
+  /// Substitutes the monotonic clock used for the reply deadline.
+  void set_time_source(net::TimeSource now);
 
  private:
   SgMoe& model_;
   std::vector<net::Channel*> workers_;
   net::ComputeHook on_compute_;
+  double worker_timeout_s_ = 0.0;
+  net::TimeSource now_;
+  std::int64_t query_seq_ = 0;
 };
 
 }  // namespace teamnet::moe

@@ -1,6 +1,8 @@
 #include "net/collab.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
@@ -24,6 +26,32 @@ std::pair<Tensor, Tensor> evaluate(nn::Module& expert, const Tensor& x) {
 
 }  // namespace
 
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+GatherDeadline::GatherDeadline(double budget_s, const TimeSource& now)
+    : now_(now), unbounded_(budget_s <= 0.0) {
+  if (!unbounded_) deadline_ = now_() + budget_s;
+}
+
+double GatherDeadline::remaining() const {
+  if (unbounded_) return std::numeric_limits<double>::infinity();
+  const double left = deadline_ - now_();
+  return left > 0.0 ? left : 0.0;
+}
+
+std::optional<std::string> GatherDeadline::recv_from(Channel& channel) const {
+  if (unbounded_) {
+    // The deliberate blocking fallback: no budget was configured, so the
+    // gather keeps the original block-forever semantics.
+    return channel.recv();  // lint:allow(naked-recv)
+  }
+  return channel.recv_timeout(remaining());
+}
+
 CollaborativeWorker::CollaborativeWorker(nn::Module& expert, Channel& channel)
     : expert_(expert), channel_(channel) {
   expert_.set_training(false);
@@ -31,22 +59,49 @@ CollaborativeWorker::CollaborativeWorker(nn::Module& expert, Channel& channel)
 
 void CollaborativeWorker::serve() {
   for (;;) {
-    Message request = Message::decode(channel_.recv());
+    // Worker side: blocking on the master is the serving contract; the
+    // deadline discipline (lint rule naked-recv) exists for master-side
+    // gathers, where one slow peer must not starve the rest.
+    std::string raw = channel_.recv();  // lint:allow(naked-recv)
+    Message request;
+    try {
+      request = Message::decode(raw);
+    } catch (const SerializationError& e) {
+      LOG_WARN("worker: dropping malformed frame (" << e.what() << ")");
+      continue;
+    }
     if (request.type == MsgType::Shutdown) return;
-    TEAMNET_CHECK_MSG(request.type == MsgType::Infer,
-                      "worker got unexpected message type "
-                          << static_cast<int>(request.type));
-    TEAMNET_CHECK(request.tensors.size() == 1);
+    if (request.type == MsgType::Ping) {
+      Message pong;
+      pong.type = MsgType::Pong;
+      pong.ints = request.ints;  // echo the probe id
+      channel_.send(pong.encode());
+      ++pongs_;
+      continue;
+    }
+    if (request.type != MsgType::Infer || request.tensors.size() != 1) {
+      LOG_WARN("worker: dropping unexpected message type "
+               << static_cast<int>(request.type));
+      continue;
+    }
     const Tensor& x = request.tensors[0];
-
-    if (on_compute_) on_compute_(batch_flops(expert_, x));
-    auto [probs, entropy] = evaluate(expert_, x);
-
-    Message reply;
-    reply.type = MsgType::Result;
-    reply.tensors = {std::move(probs), std::move(entropy)};
-    channel_.send(reply.encode());
-    ++served_;
+    try {
+      if (on_compute_) on_compute_(batch_flops(expert_, x));
+      auto [probs, entropy] = evaluate(expert_, x);
+      Message reply;
+      reply.type = MsgType::Result;
+      reply.ints = request.ints;  // echo the query id
+      reply.tensors = {std::move(probs), std::move(entropy)};
+      channel_.send(reply.encode());
+      ++served_;
+    } catch (const NetworkError&) {
+      throw;  // broken channel: the serving loop cannot continue
+    } catch (const Error& e) {
+      // A corrupted frame can decode into an Infer the expert cannot run
+      // (bad shapes); skip it — the master's deadline covers the answer.
+      LOG_WARN("worker: dropping Infer it cannot evaluate (" << e.what()
+                                                             << ")");
+    }
   }
 }
 
@@ -54,34 +109,118 @@ CollaborativeMaster::CollaborativeMaster(nn::Module& local_expert,
                                          std::vector<Channel*> workers)
     : expert_(local_expert),
       workers_(std::move(workers)),
-      failed_(workers_.size(), false) {
+      slots_(workers_.size()),
+      now_(&steady_seconds) {
   expert_.set_training(false);
   for (auto* w : workers_) TEAMNET_CHECK(w != nullptr);
 }
 
 int CollaborativeMaster::failed_workers() const {
-  return static_cast<int>(std::count(failed_.begin(), failed_.end(), true));
+  return static_cast<int>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const WorkerSlot& s) { return s.failed; }));
+}
+
+bool CollaborativeMaster::worker_alive(int worker_index) const {
+  TEAMNET_CHECK_MSG(
+      worker_index >= 0 &&
+          worker_index < static_cast<int>(slots_.size()),
+      "worker index " << worker_index << " out of range [0, " << slots_.size()
+                      << ")");
+  return !slots_[static_cast<std::size_t>(worker_index)].failed;
+}
+
+void CollaborativeMaster::set_probe_interval(int queries) {
+  TEAMNET_CHECK_MSG(queries >= 0, "probe interval must be >= 0");
+  probe_interval_ = std::min(queries, kMaxProbeInterval);
+}
+
+void CollaborativeMaster::set_time_source(TimeSource now) {
+  now_ = now ? std::move(now) : TimeSource(&steady_seconds);
+}
+
+void CollaborativeMaster::mark_failed(std::size_t w) {
+  WorkerSlot& slot = slots_[w];
+  if (slot.failed) return;
+  slot.failed = true;
+  slot.probe_id = 0;
+  slot.probe_interval = probe_interval_;
+  slot.probe_countdown = probe_interval_;
+}
+
+void CollaborativeMaster::probe_failed_workers() {
+  if (probe_interval_ <= 0) return;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerSlot& slot = slots_[w];
+    if (!slot.failed) continue;
+    try {
+      // Poll for an answer to the in-flight probe. Anything else queued on
+      // the channel (a late Result from before the worker failed) is stale
+      // and discarded here — bounded drain, never blocking.
+      for (int drained = 0; slot.probe_id != 0 && drained < 64; ++drained) {
+        auto raw = workers_[w]->recv_timeout(0.0);
+        if (!raw) break;
+        Message msg;
+        try {
+          msg = Message::decode(*raw);
+        } catch (const SerializationError&) {
+          ++stale_discarded_;
+          continue;
+        }
+        if (msg.type == MsgType::Pong && !msg.ints.empty() &&
+            msg.ints[0] == slot.probe_id) {
+          slot.failed = false;
+          slot.probe_id = 0;
+          ++rejoins_;
+          LOG_INFO("worker " << w + 1
+                             << " answered probe; rejoining the live set");
+          break;
+        }
+        ++stale_discarded_;
+      }
+      if (!slot.failed) continue;
+      if (--slot.probe_countdown > 0) continue;
+      Message ping;
+      ping.type = MsgType::Ping;
+      ping.ints = {++probe_seq_};
+      workers_[w]->send(ping.encode());
+      slot.probe_id = probe_seq_;
+      // Exponential backoff on the probe cadence: each unanswered probe
+      // doubles the wait before the next one, up to kMaxProbeInterval.
+      slot.probe_interval =
+          std::min(slot.probe_interval * 2, kMaxProbeInterval);
+      slot.probe_countdown = slot.probe_interval;
+    } catch (const Error& e) {
+      LOG_DEBUG("worker " << w + 1 << " probe failed: " << e.what());
+      // Still failed; the probe cadence continues on later queries.
+    }
+  }
 }
 
 CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   TEAMNET_CHECK(x.rank() >= 2);
   const std::int64_t n = x.dim(0);
 
+  // Probation first, so a recovered worker rejoins in time for this query.
+  probe_failed_workers();
+
   // Step 2: broadcast the sensor data to every live worker. Channel errors
   // mark the worker failed rather than aborting the query.
+  const std::int64_t qid = ++query_seq_;
   Message request;
   request.type = MsgType::Infer;
+  request.ints = {qid};
   request.tensors = {x};
   const std::string encoded = request.encode();
   std::vector<bool> asked(workers_.size(), false);
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (failed_[w]) continue;
+    if (slots_[w].failed) continue;
     try {
       workers_[w]->send(encoded);
       asked[w] = true;
     } catch (const Error& e) {
       LOG_WARN("worker " << w + 1 << " failed on send: " << e.what());
-      failed_[w] = true;
+      mark_failed(w);
     }
   }
 
@@ -90,35 +229,50 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   if (on_compute_) on_compute_(batch_flops(expert_, x));
   auto [local_probs, local_entropy] = evaluate(expert_, x);
 
-  // Step 4: gather whatever answers arrive; slow or broken workers are
-  // marked failed and the selection proceeds without them.
+  // Step 4: gather whatever answers arrive before ONE shared deadline;
+  // slow or broken workers are marked failed and the selection proceeds
+  // without them. Replies for any other query id are stale (a late answer
+  // from a previously timed-out worker, or a duplicate) and are discarded
+  // instead of desyncing the protocol.
   std::vector<Tensor> all_probs = {std::move(local_probs)};
   std::vector<Tensor> all_entropy = {std::move(local_entropy)};
   std::vector<int> node_of = {0};
+  GatherDeadline deadline(worker_timeout_s_, now_);
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (!asked[w]) continue;
     try {
-      std::string raw;
-      if (worker_timeout_s_ > 0.0) {
-        auto maybe = workers_[w]->recv_timeout(worker_timeout_s_);
-        if (!maybe) {
-          LOG_WARN("worker " << w + 1 << " timed out after "
-                             << worker_timeout_s_ << "s; marking failed");
-          failed_[w] = true;
+      for (;;) {
+        auto raw = deadline.recv_from(*workers_[w]);
+        if (!raw) {
+          LOG_WARN("worker " << w + 1 << " missed the " << worker_timeout_s_
+                             << "s gather deadline; marking failed");
+          mark_failed(w);
+          break;
+        }
+        Message reply = Message::decode(*raw);
+        if (reply.type == MsgType::Pong) {
+          ++stale_discarded_;  // duplicate probe answer; keep waiting
           continue;
         }
-        raw = std::move(*maybe);
-      } else {
-        raw = workers_[w]->recv();
+        TEAMNET_CHECK_MSG(
+            reply.type == MsgType::Result && reply.tensors.size() == 2,
+            "worker " << w + 1 << " sent malformed reply type "
+                      << static_cast<int>(reply.type));
+        if (reply.ints.empty() || reply.ints[0] != qid) {
+          ++stale_discarded_;
+          LOG_DEBUG("worker " << w + 1 << " sent stale reply for query "
+                              << (reply.ints.empty() ? -1 : reply.ints[0])
+                              << " during query " << qid << "; discarded");
+          continue;
+        }
+        all_probs.push_back(std::move(reply.tensors[0]));
+        all_entropy.push_back(std::move(reply.tensors[1]));
+        node_of.push_back(static_cast<int>(w) + 1);
+        break;
       }
-      Message reply = Message::decode(raw);
-      TEAMNET_CHECK(reply.type == MsgType::Result && reply.tensors.size() == 2);
-      all_probs.push_back(std::move(reply.tensors[0]));
-      all_entropy.push_back(std::move(reply.tensors[1]));
-      node_of.push_back(static_cast<int>(w) + 1);
     } catch (const Error& e) {
       LOG_WARN("worker " << w + 1 << " failed on recv: " << e.what());
-      failed_[w] = true;
+      mark_failed(w);
     }
   }
 
@@ -151,11 +305,21 @@ void CollaborativeMaster::shutdown() {
   msg.type = MsgType::Shutdown;
   const std::string encoded = msg.encode();
   for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (failed_[w]) continue;
+    if (slots_[w].failed) continue;
     try {
       workers_[w]->send(encoded);
     } catch (const Error& e) {
       LOG_WARN("worker " << w + 1 << " failed on shutdown: " << e.what());
+    }
+  }
+  // Close every channel — failed workers included — so a thread wedged in
+  // recv unblocks (NetworkError) and can be joined instead of leaking.
+  // Queued messages (the Shutdown just sent) stay readable until drained.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    try {
+      workers_[w]->close();
+    } catch (const Error& e) {
+      LOG_WARN("worker " << w + 1 << " failed on close: " << e.what());
     }
   }
 }

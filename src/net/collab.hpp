@@ -9,9 +9,16 @@
 // examples, simulated WiFi channels in the benches. The optional compute
 // hook reports each node's FLOP count so a simulation can advance its
 // virtual clock; real deployments leave it unset.
+//
+// Fault model (DESIGN.md "Fault model & recovery"): every Infer carries a
+// query id that workers echo on the Result, the gather shares ONE deadline
+// across all workers, and a failed worker sits in probation — probed with
+// Ping/Pong on an exponential-backoff cadence — until it answers and
+// rejoins the live set.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "net/message.hpp"
@@ -22,25 +29,65 @@ namespace teamnet::net {
 
 using ComputeHook = std::function<void(std::int64_t flops)>;
 
+/// Monotonic time source in seconds, used for deadline accounting. The
+/// default reads std::chrono::steady_clock; simulations may substitute the
+/// virtual clock so gather deadlines are measured in simulated time.
+using TimeSource = std::function<double()>;
+
+/// Seconds since an arbitrary epoch on the steady (monotonic) clock.
+double steady_seconds();
+
+/// One shared receive budget for a whole gather loop: however many workers
+/// are slow or dead, the total wait is bounded by a single `budget_s`
+/// (each receive gets whatever remains). A budget <= 0 means unbounded —
+/// receives block forever, the pre-fault-tolerance behavior.
+///
+/// This is the only sanctioned way to receive in master-side gather paths;
+/// tools/lint.py (rule `naked-recv`) rejects bare Channel::recv() calls
+/// there so no gather can silently reintroduce an unbounded per-worker
+/// wait.
+class GatherDeadline {
+ public:
+  GatherDeadline(double budget_s, const TimeSource& now);
+
+  bool unbounded() const { return unbounded_; }
+  /// Seconds left before the deadline; 0 once expired. Only meaningful for
+  /// bounded deadlines.
+  double remaining() const;
+  /// Receives from `channel`, bounded by remaining() (blocking when
+  /// unbounded). nullopt = deadline expired with no message.
+  std::optional<std::string> recv_from(Channel& channel) const;
+
+ private:
+  const TimeSource& now_;
+  bool unbounded_;
+  double deadline_ = 0.0;
+};
+
 /// Serves one expert model on one channel until a Shutdown message.
 class CollaborativeWorker {
  public:
   CollaborativeWorker(nn::Module& expert, Channel& channel);
 
-  /// Blocks, answering Infer requests until Shutdown. Throws NetworkError
-  /// on a broken channel.
+  /// Blocks, answering Infer requests (and probation Pings) until
+  /// Shutdown. A malformed or corrupted frame is logged and skipped — the
+  /// master's gather deadline covers the lost answer — so one bad message
+  /// cannot take the worker down. Throws NetworkError on a broken channel.
   void serve();
 
   void set_compute_hook(ComputeHook hook) { on_compute_ = std::move(hook); }
 
   /// Number of Infer requests answered (telemetry).
   std::int64_t requests_served() const { return served_; }
+  /// Number of probation Pings answered (telemetry).
+  std::int64_t pongs_sent() const { return pongs_; }
 
  private:
   nn::Module& expert_;
   Channel& channel_;
   ComputeHook on_compute_;
   std::int64_t served_ = 0;
+  std::int64_t pongs_ = 0;
 };
 
 /// The master edge node: owns a local expert plus channels to the workers.
@@ -57,32 +104,73 @@ class CollaborativeMaster {
   /// Runs Figure 1's five steps for a batch of inputs. Workers that have
   /// been marked failed are skipped; the selection runs over whichever
   /// nodes answered (degraded but available — the master alone in the
-  /// worst case).
+  /// worst case). Failed workers are probed and rejoin when they answer.
   Result infer(const Tensor& x);
 
-  /// Sends Shutdown to every live worker.
+  /// Sends Shutdown to every live worker, then closes every worker channel
+  /// (failed ones included) so wedged worker threads unblock and can be
+  /// joined instead of leaking.
   void shutdown();
 
   void set_compute_hook(ComputeHook hook) { on_compute_ = std::move(hook); }
 
-  /// Fault tolerance: when > 0, a worker that does not answer within
-  /// `seconds` of real time (or whose channel errors) is marked failed and
-  /// excluded from subsequent queries. 0 (default) = block forever.
+  /// Fault tolerance: when > 0, ONE shared deadline of `seconds` bounds
+  /// the whole gather — a worker that has not answered when the budget
+  /// runs out (or whose channel errors) is marked failed and put on
+  /// probation. 0 (default) = block forever.
   void set_worker_timeout(double seconds) { worker_timeout_s_ = seconds; }
 
+  /// Probation cadence: a failed worker is probed with a Ping every
+  /// `queries` queries, with the interval doubling after every unanswered
+  /// probe (capped at kMaxProbeInterval). 0 disables probing — a failed
+  /// worker then stays failed forever (the pre-rejoin behavior).
+  void set_probe_interval(int queries);
+
+  /// Substitutes the monotonic clock used for gather deadlines (default:
+  /// steady_seconds). Simulations pass virtual-clock time here.
+  void set_time_source(TimeSource now);
+
   int num_nodes() const { return 1 + static_cast<int>(workers_.size()); }
-  /// Workers currently marked failed.
+  /// Workers currently marked failed (in probation).
   int failed_workers() const;
-  bool worker_alive(int worker_index) const {
-    return !failed_[static_cast<std::size_t>(worker_index)];
-  }
+  /// Whether `worker_index` (0-based) is in the live set. Out-of-range
+  /// indices throw InvariantError.
+  bool worker_alive(int worker_index) const;
+
+  /// Replies discarded because their query id did not match the in-flight
+  /// query (late answers from timed-out workers, injected duplicates).
+  std::int64_t stale_replies_discarded() const { return stale_discarded_; }
+  /// Probed workers that answered and re-entered the live set.
+  std::int64_t rejoins() const { return rejoins_; }
+
+  /// Probe backoff never exceeds this many queries between Pings.
+  static constexpr int kMaxProbeInterval = 64;
 
  private:
+  /// Per-worker fault-tolerance state machine: live <-> probation.
+  struct WorkerSlot {
+    bool failed = false;
+    int probe_countdown = 0;  ///< queries until the next probe action
+    int probe_interval = 0;   ///< current backoff interval (queries)
+    std::int64_t probe_id = 0;  ///< in-flight Ping id (0 = none)
+  };
+
+  void mark_failed(std::size_t w);
+  /// Polls probation workers for Pongs (rejoining the ones that answered)
+  /// and sends fresh Pings on the backoff cadence.
+  void probe_failed_workers();
+
   nn::Module& expert_;
   std::vector<Channel*> workers_;
-  std::vector<bool> failed_;
+  std::vector<WorkerSlot> slots_;
   double worker_timeout_s_ = 0.0;
+  int probe_interval_ = 4;
+  TimeSource now_;
   ComputeHook on_compute_;
+  std::int64_t query_seq_ = 0;
+  std::int64_t probe_seq_ = 0;
+  std::int64_t stale_discarded_ = 0;
+  std::int64_t rejoins_ = 0;
 };
 
 }  // namespace teamnet::net

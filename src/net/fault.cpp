@@ -1,0 +1,225 @@
+#include "net/fault.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace teamnet::net {
+
+namespace {
+
+double clamp01(double p) { return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p); }
+
+void validate(const FaultProfile& p) {
+  TEAMNET_CHECK_MSG(p.drop_prob == clamp01(p.drop_prob) &&
+                        p.delay_prob == clamp01(p.delay_prob) &&
+                        p.corrupt_prob == clamp01(p.corrupt_prob) &&
+                        p.duplicate_prob == clamp01(p.duplicate_prob),
+                    "fault probabilities must be in [0, 1]");
+  TEAMNET_CHECK_MSG(p.delay_min_s >= 0.0 && p.delay_max_s >= p.delay_min_s,
+                    "delay range must satisfy 0 <= min <= max");
+}
+
+std::string format_delay(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "delay %.6f", seconds);
+  return buf;
+}
+
+std::string format_corrupt(std::size_t pos, unsigned mask) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "corrupt @%zu ^0x%02x", pos, mask);
+  return buf;
+}
+
+}  // namespace
+
+FaultyChannel::FaultyChannel(ChannelPtr inner, FaultProfile profile,
+                             DelayFn delay)
+    : inner_(std::move(inner)),
+      profile_(profile),
+      delay_(std::move(delay)),
+      rng_(profile.seed),
+      partition_send_(profile.partition_send),
+      partition_recv_(profile.partition_recv) {
+  TEAMNET_CHECK(inner_ != nullptr);
+  validate(profile_);
+}
+
+void FaultyChannel::check_crash_locked(const char* dir, std::int64_t seq) {
+  if (crashed_) throw NetworkError("injected crash (fault profile)");
+  if (profile_.crash_after_messages >= 0 &&
+      messages_seen_ >= profile_.crash_after_messages) {
+    crashed_ = true;
+    record_locked(dir, seq, "crash");
+    throw NetworkError("injected crash (fault profile)");
+  }
+}
+
+void FaultyChannel::record_locked(const char* dir, std::int64_t seq,
+                                  const std::string& what) {
+  log_ += dir;
+  log_ += '#';
+  log_ += std::to_string(seq);
+  log_ += ' ';
+  log_ += what;
+  log_ += '\n';
+  ++faults_;
+}
+
+void FaultyChannel::send(std::string bytes) {
+  double delay_s = 0.0;
+  bool duplicate = false;
+  {
+    MutexLock lock(mutex_);
+    const std::int64_t seq = ++tx_seq_;
+    check_crash_locked("tx", seq);
+    ++messages_seen_;
+    if (partition_send_) {
+      record_locked("tx", seq, "partition-drop");
+      return;
+    }
+    if (profile_.drop_prob > 0.0 && rng_.bernoulli(profile_.drop_prob)) {
+      record_locked("tx", seq, "drop");
+      return;
+    }
+    if (profile_.delay_prob > 0.0 && rng_.bernoulli(profile_.delay_prob)) {
+      delay_s = static_cast<double>(
+          rng_.uniform(static_cast<float>(profile_.delay_min_s),
+                       static_cast<float>(profile_.delay_max_s)));
+      record_locked("tx", seq, format_delay(delay_s));
+    }
+    if (profile_.corrupt_prob > 0.0 && rng_.bernoulli(profile_.corrupt_prob) &&
+        !bytes.empty()) {
+      const auto pos = static_cast<std::size_t>(
+          rng_.randint(0, static_cast<int>(bytes.size()) - 1));
+      const unsigned mask = 1u << rng_.randint(0, 7);
+      bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                     mask);
+      record_locked("tx", seq, format_corrupt(pos, mask));
+    }
+    if (profile_.duplicate_prob > 0.0 &&
+        rng_.bernoulli(profile_.duplicate_prob)) {
+      duplicate = true;
+      record_locked("tx", seq, "dup");
+    }
+  }
+  // Delay and forwarding happen outside the lock: the hook may advance a
+  // virtual clock (its own leaf lock) and inner_->send may block.
+  if (delay_s > 0.0) {
+    if (delay_) {
+      delay_(delay_s);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+    }
+  }
+  if (duplicate) inner_->send(bytes);
+  inner_->send(std::move(bytes));
+}
+
+bool FaultyChannel::apply_rx_locked(std::string& bytes) {
+  const std::int64_t seq = ++rx_seq_;
+  ++messages_seen_;
+  if (partition_recv_) {
+    record_locked("rx", seq, "partition-drop");
+    return false;
+  }
+  if (profile_.drop_prob > 0.0 && rng_.bernoulli(profile_.drop_prob)) {
+    record_locked("rx", seq, "drop");
+    return false;
+  }
+  if (profile_.corrupt_prob > 0.0 && rng_.bernoulli(profile_.corrupt_prob) &&
+      !bytes.empty()) {
+    const auto pos = static_cast<std::size_t>(
+        rng_.randint(0, static_cast<int>(bytes.size()) - 1));
+    const unsigned mask = 1u << rng_.randint(0, 7);
+    bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                   mask);
+    record_locked("rx", seq, format_corrupt(pos, mask));
+  }
+  if (profile_.duplicate_prob > 0.0 &&
+      rng_.bernoulli(profile_.duplicate_prob)) {
+    pending_rx_.push_back(bytes);
+    record_locked("rx", seq, "dup");
+  }
+  return true;
+}
+
+std::string FaultyChannel::recv() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      check_crash_locked("rx", rx_seq_ + 1);
+      if (!pending_rx_.empty()) {
+        std::string bytes = std::move(pending_rx_.front());
+        pending_rx_.pop_front();
+        return bytes;
+      }
+    }
+    std::string bytes = inner_->recv();
+    MutexLock lock(mutex_);
+    if (apply_rx_locked(bytes)) return bytes;
+  }
+}
+
+std::optional<std::string> FaultyChannel::recv_timeout(double seconds) {
+  // One real-time budget across retries: a dropped message must not reset
+  // the caller's deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      check_crash_locked("rx", rx_seq_ + 1);
+      if (!pending_rx_.empty()) {
+        std::string bytes = std::move(pending_rx_.front());
+        pending_rx_.pop_front();
+        return bytes;
+      }
+    }
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    auto bytes = inner_->recv_timeout(remaining > 0.0 ? remaining : 0.0);
+    if (!bytes) return std::nullopt;
+    MutexLock lock(mutex_);
+    if (apply_rx_locked(*bytes)) return bytes;
+  }
+}
+
+void FaultyChannel::close() { inner_->close(); }
+
+void FaultyChannel::set_partition(bool send_lost, bool recv_lost) {
+  MutexLock lock(mutex_);
+  partition_send_ = send_lost;
+  partition_recv_ = recv_lost;
+  log_ += "ctl partition send=";
+  log_ += send_lost ? '1' : '0';
+  log_ += " recv=";
+  log_ += recv_lost ? '1' : '0';
+  log_ += '\n';
+}
+
+std::string FaultyChannel::fault_schedule() const {
+  MutexLock lock(mutex_);
+  return log_;
+}
+
+std::int64_t FaultyChannel::faults_injected() const {
+  MutexLock lock(mutex_);
+  return faults_;
+}
+
+ChannelPtr make_faulty_channel(ChannelPtr inner, FaultProfile profile,
+                               DelayFn delay) {
+  return std::make_unique<FaultyChannel>(std::move(inner), profile,
+                                         std::move(delay));
+}
+
+}  // namespace teamnet::net

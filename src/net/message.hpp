@@ -17,6 +17,13 @@ namespace teamnet::net {
 
 /// Protocol message types for the collaborative-inference protocol
 /// (Figure 1) and the message-passing runtime.
+///
+/// Query identity: `Infer` carries the master's query sequence number in
+/// `ints[0]` and workers echo the request's `ints` back on the matching
+/// `Result` (and `Pong`). The master's gather discards replies whose id
+/// does not match the in-flight query, so a late reply from a timed-out
+/// worker — or an injected duplicate — can never be consumed as the answer
+/// to a later query.
 enum class MsgType : std::uint32_t {
   Infer = 1,       ///< master -> worker: input tensor broadcast (Step 2)
   Result = 2,      ///< worker -> master: probs + entropy (Step 4)
@@ -24,6 +31,8 @@ enum class MsgType : std::uint32_t {
   Weights = 4,     ///< model deployment: serialized expert parameters
   Collective = 5,  ///< payload of an MPI-style collective
   Ack = 6,
+  Ping = 7,        ///< master -> worker: probation probe (ints[0] = probe id)
+  Pong = 8,        ///< worker -> master: probe answer (echoes the Ping ints)
 };
 
 struct Message {

@@ -6,12 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace teamnet::net {
 
@@ -69,6 +71,13 @@ class TcpChannel final : public Channel {
     if (fd_ >= 0) ::close(fd_);
   }
 
+  void close() override {
+    // shutdown() rather than ::close() so the fd stays valid (no double
+    // close / fd reuse race) while any blocked recv fails with "peer
+    // closed connection"; the destructor still releases the fd.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
   void send(std::string bytes) override {
     const std::uint64_t len = bytes.size();
     char header[8];
@@ -86,9 +95,15 @@ class TcpChannel final : public Channel {
   std::optional<std::string> recv_timeout(double seconds) override {
     // Arm SO_RCVTIMEO for the frame header only; once a header arrives the
     // body is assumed to follow promptly (sender writes frames atomically).
+    const double clamped = std::max(seconds, 0.0);
     timeval tv{};
-    tv.tv_sec = static_cast<time_t>(seconds);
-    tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    tv.tv_sec = static_cast<time_t>(clamped);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (clamped - static_cast<double>(tv.tv_sec)) * 1e6);
+    // A zeroed timeval means "no timeout" to SO_RCVTIMEO, which would turn
+    // a non-blocking poll (seconds <= 0) into a blocking recv. Clamp to the
+    // smallest representable timeout instead.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     char header[8];
     const ssize_t n = ::recv(fd_, header, sizeof(header), MSG_PEEK);
@@ -162,9 +177,20 @@ ChannelPtr tcp_connect(const std::string& host, std::uint16_t port) {
     throw NetworkError("bad address: " + host);
   }
 
-  // Retry briefly: workers often dial before the master's listener is up.
-  constexpr int kAttempts = 50;
-  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+  // Retry with exponential backoff + jitter: workers often dial before the
+  // master's listener is up, and a fixed cadence makes a rejoining fleet
+  // hammer the listener in lockstep. Deterministically seeded from the
+  // target address so tests remain reproducible.
+  constexpr double kBackoffBudgetS = 3.0;
+  constexpr int kBaseDelayMs = 5;
+  constexpr int kMaxDelayMs = 320;
+  Rng jitter(0x7c9ULL * port + 0xdeadULL * addr.sin_addr.s_addr);
+  int delay_ms = kBaseDelayMs;
+  const auto give_up_at = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(kBackoffBudgetS));
+  for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       const int err = errno;
@@ -174,7 +200,11 @@ ChannelPtr tcp_connect(const std::string& host, std::uint16_t port) {
       return std::make_unique<TcpChannel>(fd);
     }
     ::close(fd);
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() >= give_up_at) break;
+    // Full jitter: sleep uniform in [delay/2, delay], then double the cap.
+    const int sleep_ms = jitter.randint(delay_ms / 2, delay_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    delay_ms = std::min(delay_ms * 2, kMaxDelayMs);
   }
   throw NetworkError("connect to " + host + ":" + std::to_string(port) +
                      " failed after retries");

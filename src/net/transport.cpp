@@ -1,12 +1,26 @@
 #include "net/transport.hpp"
 
+#include <atomic>
 #include <chrono>
 
 #include "common/annotations.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/raw_bytes.hpp"
 
 namespace teamnet::net {
+
+std::optional<std::string> Channel::recv_timeout(double seconds) {
+  if (seconds > 0.0) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      LOG_WARN("Channel::recv_timeout: this channel type has no timeout "
+               "support; falling back to blocking recv() — the caller's "
+               << seconds << "s deadline is not enforced");
+    }
+  }
+  return recv();
+}
 
 namespace {
 
@@ -122,7 +136,15 @@ class SimChannel final : public Channel {
 
   std::optional<std::string> recv_timeout(double seconds) override {
     auto stamped = inner_->recv_timeout(seconds);
-    if (!stamped) return std::nullopt;
+    if (!stamped) {
+      // Virtual-time-aware timeout: the real wait timed out, so the
+      // simulated node spent the full budget listening. Charging it here is
+      // what bounds a shared-deadline gather to ONE timeout of virtual time
+      // — the first timed-out worker consumes the budget, and later workers
+      // are polled with a zero remainder.
+      if (seconds > 0.0) clock_.advance(self_, seconds);
+      return std::nullopt;
+    }
     return unstamp(std::move(*stamped));
   }
 

@@ -28,12 +28,12 @@ class Channel {
   /// Blocks until a message is available and returns it.
   virtual std::string recv() = 0;
   /// Like recv but gives up after `seconds` of REAL time, returning
-  /// nullopt. The fault-tolerant master uses this to survive dead or
-  /// wedged workers. Default: plain blocking recv (no timeout support).
-  virtual std::optional<std::string> recv_timeout(double seconds) {
-    (void)seconds;
-    return recv();
-  }
+  /// nullopt; `seconds <= 0` is a non-blocking poll. The fault-tolerant
+  /// master uses this to survive dead or wedged workers. The base default
+  /// has no timeout support: it falls back to plain blocking recv and
+  /// warns (once per process) when called with a positive timeout, because
+  /// a blocking fallback silently voids the caller's deadline.
+  virtual std::optional<std::string> recv_timeout(double seconds);
   /// Shuts the channel down: subsequent (and currently blocked) recv calls
   /// fail with NetworkError once drained. Error-recovery paths use this to
   /// unblock peer threads instead of leaking them. Default: no-op.

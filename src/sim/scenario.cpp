@@ -197,6 +197,137 @@ ScenarioResult run_teamnet_heterogeneous(
   return result;
 }
 
+ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config,
+                              const ChaosConfig& chaos) {
+  TEAMNET_CHECK(experts.size() >= 2);
+  TEAMNET_CHECK_MSG(
+      chaos.partition_worker < static_cast<int>(experts.size()) - 1,
+      "partition_worker must name a worker (0-based, < num_workers)");
+  const int k = static_cast<int>(experts.size());
+  net::VirtualClock clock(k);
+  auto mesh = net::make_sim_mesh(k, clock, config.link);
+
+  std::atomic<double> master_compute{0.0};
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
+  for (int i = 1; i < k; ++i) {
+    workers.push_back(std::make_unique<net::CollaborativeWorker>(
+        *experts[static_cast<std::size_t>(i)],
+        *mesh[static_cast<std::size_t>(i)][0]));
+    workers.back()->set_compute_hook(
+        make_hook(clock, i, config.device, nullptr));
+    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
+  }
+
+  // The master reaches every worker through a FaultyChannel wrapped around
+  // the sim channel. One base seed forks into per-worker streams, so the
+  // whole fleet's fault schedule reproduces from chaos.faults.seed. Delay
+  // faults advance the master's virtual clock instead of sleeping.
+  Rng seeder(chaos.faults.seed);
+  net::DelayFn delay = [&clock](double seconds) { clock.advance(0, seconds); };
+  std::vector<std::unique_ptr<net::FaultyChannel>> faulty;
+  std::vector<net::Channel*> worker_channels;
+  for (int i = 1; i < k; ++i) {
+    net::FaultProfile profile = chaos.faults;
+    profile.seed = seeder.fork(static_cast<std::uint64_t>(i)).engine()();
+    faulty.push_back(std::make_unique<net::FaultyChannel>(
+        std::move(mesh[0][static_cast<std::size_t>(i)]), profile, delay));
+    worker_channels.push_back(faulty.back().get());
+  }
+
+  net::CollaborativeMaster master(*experts[0], worker_channels);
+  master.set_compute_hook(make_hook(clock, 0, config.device, &master_compute));
+  master.set_worker_timeout(chaos.worker_timeout_s);
+  master.set_probe_interval(chaos.probe_interval);
+  master.set_time_source([&clock] { return clock.node_time(0); });
+
+  const auto queries = sample_queries(test, config.num_queries, config.seed);
+  ChaosResult result;
+  double total_latency = 0.0;
+  std::size_t n_correct = 0;
+  const std::int64_t bytes_before = clock.bytes_delivered();
+  const std::int64_t msgs_before = clock.messages_delivered();
+  try {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const int qi = static_cast<int>(q);
+      if (chaos.partition_worker >= 0) {
+        auto& link = *faulty[static_cast<std::size_t>(chaos.partition_worker)];
+        if (qi == chaos.partition_from_query) link.set_partition(true, true);
+        if (qi == chaos.heal_at_query) link.set_partition(false, false);
+      }
+      const int row = queries[q];
+      const double t0 = clock.node_time(0);
+      auto res = master.infer(query_tensor(test, row));
+      total_latency += clock.node_time(0) - t0;
+      const bool ok =
+          res.predictions[0] == test.labels[static_cast<std::size_t>(row)];
+      if (ok) ++n_correct;
+      result.correct.push_back(ok ? 1 : 0);
+      result.live_nodes.push_back(k - master.failed_workers());
+    }
+  } catch (...) {
+    for (auto& link : faulty) link->close();
+    close_mesh(mesh);
+    for (auto& t : threads) t.join();
+    throw;
+  }
+  // Quiesce before teardown: a duplicated Infer on the last query leaves a
+  // second reply in flight on a worker thread, and shutdown()'s close
+  // would race with that send — making the traffic totals nondeterministic.
+  // A Ping over each link's fault-free inner() path is answered only after
+  // the worker has processed (and sent the replies for) everything queued
+  // before it, so once the Pong is back, that worker's deliveries are
+  // final. The sentinel id never collides with the master's probe ids.
+  for (auto& link : faulty) {
+    try {
+      net::Message quiesce;
+      quiesce.type = net::MsgType::Ping;
+      quiesce.ints = {-1};
+      link->inner().send(quiesce.encode());
+      while (auto raw = link->inner().recv_timeout(1.0)) {
+        net::Message msg = net::Message::decode(*raw);
+        if (msg.type == net::MsgType::Pong && !msg.ints.empty() &&
+            msg.ints[0] == -1) {
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      LOG_DEBUG("chaos quiesce skipped a worker: " << e.what());
+    }
+  }
+  master.shutdown();  // closes the faulty channels, waking every worker
+  for (auto& t : threads) t.join();
+  // Counted after the quiesce + join, so the totals are deterministic; they
+  // include the quiesce Ping/Pong pairs and the Shutdown messages.
+  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+
+  result.stale_replies = master.stale_replies_discarded();
+  result.rejoins = master.rejoins();
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    result.faults_injected += faulty[i]->faults_injected();
+    result.fault_schedule += "worker " + std::to_string(i + 1) + ":\n";
+    result.fault_schedule += faulty[i]->fault_schedule();
+  }
+
+  result.scenario.approach = "TeamNet-Chaos";
+  result.scenario.num_nodes = k;
+  result.scenario.latency_ms = 1e3 * total_latency / config.num_queries;
+  result.scenario.accuracy_pct = 100.0 * static_cast<double>(n_correct) /
+                                 static_cast<double>(queries.size());
+  result.scenario.usage = estimate_resources(
+      config.device,
+      model_working_set_bytes(*experts[0], test.sample_shape()),
+      total_latency > 0.0 ? master_compute.load() / total_latency : 0.0);
+  result.scenario.bytes_per_query =
+      static_cast<double>(bytes_used) / config.num_queries;
+  result.scenario.messages_per_query =
+      static_cast<double>(msgs_used) / config.num_queries;
+  return result;
+}
+
 namespace {
 
 /// Shared runner for the MPI executors: spins `num_nodes` rank threads.

@@ -16,6 +16,7 @@
 
 #include "data/dataset.hpp"
 #include "moe/sg_moe.hpp"
+#include "net/fault.hpp"
 #include "nn/mlp.hpp"
 #include "nn/shake_shake.hpp"
 #include "sim/calibration.hpp"
@@ -78,5 +79,46 @@ ScenarioResult run_mpi_branch(nn::ShakeShakeNet& model,
 /// node. The link (gRPC vs MPI flavour) comes from `config.link`.
 ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
                           const ScenarioConfig& config);
+
+/// Fault injection layered on the TeamNet scenario: every master<->worker
+/// link is wrapped in a net::FaultyChannel whose seed is forked per worker
+/// from `faults.seed`, so one seed reproduces the whole fleet's fault
+/// schedule.
+struct ChaosConfig {
+  net::FaultProfile faults;  ///< per-link fault model (seed forked per worker)
+
+  /// Optional scripted two-way partition of one worker (0-based index) over
+  /// a query window — the crash/heal pattern the rejoin machinery targets.
+  int partition_worker = -1;      ///< -1 = no scripted partition
+  int partition_from_query = -1;  ///< query index at which the link goes dark
+  int heal_at_query = -1;         ///< query index at which it heals (-1 = never)
+
+  double worker_timeout_s = 0.05;  ///< shared gather deadline (virtual s)
+  int probe_interval = 2;          ///< probation probe cadence (queries)
+};
+
+/// Per-query chaos telemetry on top of the usual scenario metrics.
+/// `scenario.accuracy_pct` is accuracy over the chaos queries themselves
+/// (not the full test set): degraded queries answer with fewer experts, and
+/// that degradation is exactly what this scenario measures.
+struct ChaosResult {
+  ScenarioResult scenario;
+  std::vector<int> live_nodes;  ///< per query: master + workers in the live set
+  std::vector<char> correct;    ///< per query: 1 = prediction was correct
+  std::int64_t stale_replies = 0;    ///< master's discarded stale replies
+  std::int64_t rejoins = 0;          ///< probed workers that came back
+  std::int64_t faults_injected = 0;  ///< total faults across all links
+  std::string fault_schedule;        ///< concatenated per-worker schedules
+};
+
+/// TeamNet's Figure-1 protocol under fault injection: same experts, same
+/// virtual-time accounting as run_teamnet, but the master reaches each
+/// worker through a FaultyChannel and runs with a gather deadline and
+/// probation/rejoin enabled. Deterministic for a fixed (config, chaos) —
+/// chaos_test asserts schedule equality byte for byte.
+ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
+                              const data::Dataset& test,
+                              const ScenarioConfig& config,
+                              const ChaosConfig& chaos);
 
 }  // namespace teamnet::sim

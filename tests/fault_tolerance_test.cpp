@@ -3,10 +3,13 @@
 // surviving experts, never hang or crash.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <future>
 #include <thread>
 
+#include "common/logging.hpp"
 #include "net/collab.hpp"
+#include "net/fault.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
 #include "nn/mlp.hpp"
@@ -93,6 +96,7 @@ TEST(FaultTolerance, ClosedTcpPeerIsMarkedFailedNotFatal) {
     net::Message request = net::Message::decode(channel->recv());
     net::Message reply;
     reply.type = net::MsgType::Result;
+    reply.ints = request.ints;  // echo the query id or the reply is stale
     Tensor probs({request.tensors[0].dim(0), 3});
     probs.fill(1.0f / 3.0f);
     Tensor entropy({request.tensors[0].dim(0)});
@@ -159,6 +163,93 @@ TEST(FaultTolerance, ChosenIndexStillNamesGlobalNode) {
   EXPECT_EQ(result.chosen[0], 2) << "global node index must be preserved";
   master.shutdown();
   worker_thread.join();
+}
+
+TEST(FaultTolerance, WorkerAliveBoundsChecked) {
+  Rng rng(5);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  auto [m1, w1] = net::make_inproc_pair();
+  net::CollaborativeMaster master(master_expert, {m1.get()});
+
+  EXPECT_TRUE(master.worker_alive(0));
+  EXPECT_THROW(master.worker_alive(-1), InvariantError);
+  EXPECT_THROW(master.worker_alive(1), InvariantError);
+}
+
+TEST(FaultTolerance, ShutdownClosesChannelsSoWorkerThreadsJoin) {
+  Rng rng(6);
+  nn::MlpNet master_expert(tiny_mlp(), rng);
+  nn::MlpNet live_expert(tiny_mlp(), rng);
+  nn::MlpNet mute_expert(tiny_mlp(), rng);
+
+  auto [m1, w1] = net::make_inproc_pair();
+  auto [m2_raw, w2] = net::make_inproc_pair();
+  // The master is deaf to worker 2: its replies vanish, so it gets marked
+  // failed while its serving thread keeps blocking on the next request.
+  net::FaultProfile deaf;
+  deaf.partition_recv = true;
+  auto m2 = net::make_faulty_channel(std::move(m2_raw), deaf);
+
+  net::CollaborativeWorker live(live_expert, *w1);
+  net::CollaborativeWorker mute(mute_expert, *w2);
+  std::thread live_thread([&live] { live.serve(); });
+  std::thread mute_thread([&mute] {
+    try {
+      mute.serve();
+    } catch (const NetworkError&) {
+      // expected: the master closes the channel on shutdown
+    }
+  });
+
+  net::CollaborativeMaster master(master_expert, {m1.get(), m2.get()});
+  // Only the mute worker spends this; roomy enough that a loaded CI box
+  // cannot time out the live one too.
+  master.set_worker_timeout(0.5);
+  Tensor x = Tensor::randn({2, 6}, rng);
+  auto result = master.infer(x);
+  EXPECT_EQ(result.predictions.size(), 2u);
+  EXPECT_EQ(master.failed_workers(), 1);
+  EXPECT_FALSE(master.worker_alive(1));
+
+  // Shutdown must close EVERY worker channel — the failed one included —
+  // or the mute worker's thread would block in recv forever (this join
+  // hangs the test on regression).
+  master.shutdown();
+  live_thread.join();
+  mute_thread.join();
+  EXPECT_EQ(mute.requests_served(), 1);
+}
+
+TEST(ChannelTimeout, BaseFallbackWarnsOncePerProcess) {
+  // A Channel subclass without timeout support falls back to blocking
+  // recv() and must say so — once, not per call.
+  class NoTimeoutChannel final : public net::Channel {
+   public:
+    void send(std::string) override {}
+    std::string recv() override { return "payload"; }
+  };
+
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  log::set_sink(sink);
+  NoTimeoutChannel channel;
+  EXPECT_EQ(channel.recv_timeout(0.25), "payload");
+  EXPECT_EQ(channel.recv_timeout(0.25), "payload");
+  log::set_sink(nullptr);
+
+  std::fflush(sink);
+  std::rewind(sink);
+  std::string captured(1 << 12, '\0');
+  captured.resize(std::fread(captured.data(), 1, captured.size(), sink));
+  std::fclose(sink);
+
+  int warnings = 0;
+  for (std::size_t at = captured.find("no timeout support");
+       at != std::string::npos;
+       at = captured.find("no timeout support", at + 1)) {
+    ++warnings;
+  }
+  EXPECT_EQ(warnings, 1) << captured;
 }
 
 }  // namespace

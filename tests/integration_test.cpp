@@ -115,26 +115,44 @@ TEST(Pipeline, ScenarioLatencyIsDeterministic) {
   EXPECT_EQ(a.bytes_per_query, b.bytes_per_query);
 }
 
-TEST(Pipeline, WorkerRejectsProtocolViolation) {
+TEST(Pipeline, WorkerSkipsProtocolViolationAndKeepsServing) {
   Rng rng(3);
-  nn::MlpNet expert(blob_mlp(), rng);
+  nn::MlpNet m(blob_mlp(), rng), w(blob_mlp(), rng);
   auto [master_ch, worker_ch] = net::make_inproc_pair();
-  net::CollaborativeWorker worker(expert, *worker_ch);
+  net::CollaborativeWorker worker(w, *worker_ch);
 
-  // A Result message arriving at a worker is a protocol violation.
+  // A Result message arriving at a worker is a protocol violation; a
+  // fault-tolerant worker drops it and keeps serving — one bad frame (a
+  // chaos injection, a confused peer) must not take the node down.
   net::Message bogus;
   bogus.type = net::MsgType::Result;
   master_ch->send(bogus.encode());
-  EXPECT_THROW(worker.serve(), InvariantError);
+
+  std::thread t([&worker] { worker.serve(); });
+  net::CollaborativeMaster master(m, {master_ch.get()});
+  auto ds = blobs();
+  auto result = master.infer(ds.images.reshape({ds.size(), -1}));
+  EXPECT_EQ(result.predictions.size(), static_cast<std::size_t>(ds.size()));
+  master.shutdown();
+  t.join();
+  EXPECT_EQ(worker.requests_served(), 1);
 }
 
-TEST(Pipeline, MalformedFrameSurfacesAsTypedError) {
+TEST(Pipeline, MalformedFrameIsSkippedNotFatal) {
   Rng rng(4);
-  nn::MlpNet expert(blob_mlp(), rng);
+  nn::MlpNet m(blob_mlp(), rng), w(blob_mlp(), rng);
   auto [master_ch, worker_ch] = net::make_inproc_pair();
-  net::CollaborativeWorker worker(expert, *worker_ch);
+  net::CollaborativeWorker worker(w, *worker_ch);
   master_ch->send("garbage that is not a message");
-  EXPECT_THROW(worker.serve(), SerializationError);
+
+  std::thread t([&worker] { worker.serve(); });
+  net::CollaborativeMaster master(m, {master_ch.get()});
+  auto ds = blobs();
+  auto result = master.infer(ds.images.reshape({ds.size(), -1}));
+  EXPECT_EQ(result.predictions.size(), static_cast<std::size_t>(ds.size()));
+  master.shutdown();
+  t.join();
+  EXPECT_EQ(worker.requests_served(), 1);
 }
 
 TEST(Pipeline, MasterSurvivesManySequentialQueries) {

@@ -31,6 +31,13 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  close-then-join error-recovery discipline the scenario
                  and transport layers rely on. Threads are always joined.
 
+  naked-recv     Bare blocking channel.recv() is forbidden in the protocol
+                 layers (src/net/**, src/moe/**): a gather that blocks
+                 forever on one dead peer wedges the whole query. Use
+                 GatherDeadline::recv_from or recv_timeout so every wait is
+                 bounded. Channel implementations themselves (transport.*,
+                 fault.*, tcp.*) are exempt — they ARE recv.
+
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 
 Usage:
@@ -76,6 +83,11 @@ RAW_MUTEX_RE = re.compile(
 RAW_MUTEX_ALLOWED = {SRC / "common" / "annotations.hpp"}
 
 DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+# Matches `.recv(` / `->recv(` but not recv_timeout / recv_from.
+NAKED_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(")
+NAKED_RECV_MODULES = {"net", "moe"}
+NAKED_RECV_EXEMPT_STEMS = {"transport", "fault", "tcp"}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 ERRNO_RE = re.compile(r"\berrno\b")
@@ -200,8 +212,28 @@ def check_thread_detach(path: pathlib.Path, code: list[str]) -> list[Finding]:
     return findings
 
 
+def check_naked_recv(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    try:
+        rel = path.relative_to(SRC)
+    except ValueError:
+        return []
+    if rel.parts[0] not in NAKED_RECV_MODULES:
+        return []
+    if path.stem in NAKED_RECV_EXEMPT_STEMS:
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if NAKED_RECV_RE.search(line):
+            findings.append(Finding(
+                path, i, "naked-recv",
+                "bare blocking recv() in a protocol layer; one dead peer "
+                "wedges the gather — use GatherDeadline::recv_from or "
+                "recv_timeout so the wait is bounded"))
+    return findings
+
+
 CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
-          check_thread_detach]
+          check_thread_detach, check_naked_recv]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -266,6 +298,20 @@ def self_test() -> int:
          "worker.join();\n", False),
         ("thread-detach", SRC / "core" / "seeded.cpp",
          "// delta is detached here; the meta-estimator owns it\n", False),
+        ("naked-recv", SRC / "net" / "seeded.cpp",
+         "Message reply = Message::decode(channel.recv());\n", True),
+        ("naked-recv", SRC / "moe" / "seeded.cpp",
+         "auto raw = workers_[w]->recv();\n", True),
+        ("naked-recv", SRC / "net" / "seeded.cpp",
+         "auto raw = channel.recv_timeout(remaining);\n", False),
+        ("naked-recv", SRC / "net" / "seeded.cpp",
+         "auto raw = deadline.recv_from(*workers_[w]);\n", False),
+        ("naked-recv", SRC / "net" / "transport.cpp",
+         "return queue_->recv();\n", False),  # channel impls are exempt
+        ("naked-recv", SRC / "mpi" / "seeded.cpp",
+         "auto raw = channel.recv();\n", False),  # net/moe-only rule
+        ("naked-recv", REPO / "tests" / "seeded.cpp",
+         "auto raw = channel.recv();\n", False),  # src-only rule
     ]
     failures = 0
     for rule, path, snippet, should_fire in cases:
