@@ -22,6 +22,7 @@ int main_impl(int argc, char** argv) {
 
   sim::ScenarioConfig cfg;
   cfg.num_queries = 40;
+  cfg.scheduler = opts.scheduler;
   // Same link for both patterns so only the pattern differs.
   cfg.link = sim::socket_link();
 

@@ -92,6 +92,7 @@ int main_impl(int argc, char** argv) {
     TrainedTeam team = train_mnist_teamnet(setup, k, opts);
     sim::ScenarioConfig cfg;
     cfg.num_queries = 30;
+    cfg.scheduler = opts.scheduler;
     cfg.link = sim::socket_link();
 
     auto centralized = sim::run_teamnet(team.expert_ptrs(), setup.test, cfg);

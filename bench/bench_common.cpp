@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -71,6 +72,36 @@ void train_supervised(nn::Module& model, const data::Dataset& train, int epochs,
 
 std::string fmt(double v, int digits = 1) { return Table::num(v, digits); }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g round-trips every finite double exactly; non-finite values have no
+/// JSON spelling, so they degrade to null rather than corrupt the document.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 }  // namespace
 
 Options parse_options(int argc, char** argv) {
@@ -81,11 +112,25 @@ Options parse_options(int argc, char** argv) {
       opts.quick = true;
     } else if (arg == "--cache-dir" && i + 1 < argc) {
       opts.cache_dir = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (arg == "--scheduler" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "free_running") {
+        opts.scheduler = sim::Scheduler::free_running;
+      } else if (mode == "discrete_event") {
+        opts.scheduler = sim::Scheduler::discrete_event;
+      } else {
+        std::fprintf(stderr, "unknown --scheduler %s (want free_running or "
+                             "discrete_event)\n", mode.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--verbose") {
       log::set_level(log::Level::Info);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--verbose] [--cache-dir DIR]\n",
+                   "usage: %s [--quick] [--verbose] [--cache-dir DIR] "
+                   "[--json PATH] [--scheduler free_running|discrete_event]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -411,6 +456,42 @@ std::unique_ptr<moe::SgMoe> train_cifar_sgmoe(const CifarSetup& setup,
                     model->expert(i));
   }
   return model;
+}
+
+JsonReport::JsonReport(const Options& opts, std::string experiment)
+    : path_(opts.json_path),
+      experiment_(std::move(experiment)),
+      scheduler_(sim::to_string(opts.scheduler)) {}
+
+void JsonReport::add(const std::string& label,
+                     const sim::ScenarioResult& result) {
+  if (path_.empty()) return;
+  rows_.push_back({label, result});
+}
+
+void JsonReport::write() const {
+  if (path_.empty()) return;
+  std::ofstream os(path_);
+  TEAMNET_CHECK_MSG(os.good(), "cannot open --json output file");
+  os << "{\n"
+     << "  \"experiment\": \"" << json_escape(experiment_) << "\",\n"
+     << "  \"scheduler\": \"" << scheduler_ << "\",\n"
+     << "  \"results\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    const sim::ScenarioResult& r = row.result;
+    os << (i == 0 ? "" : ",") << "\n    {"
+       << "\"label\": \"" << json_escape(row.label) << "\", "
+       << "\"approach\": \"" << json_escape(r.approach) << "\", "
+       << "\"nodes\": " << r.num_nodes << ", "
+       << "\"latency_ms\": " << json_number(r.latency_ms) << ", "
+       << "\"accuracy_pct\": " << json_number(r.accuracy_pct) << ", "
+       << "\"bytes_per_query\": " << json_number(r.bytes_per_query) << ", "
+       << "\"messages_per_query\": " << json_number(r.messages_per_query)
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+  std::printf("\nwrote %zu result rows to %s\n", rows_.size(), path_.c_str());
 }
 
 void print_comparison_table(const std::string& title,

@@ -23,12 +23,40 @@ namespace teamnet::bench {
 struct Options {
   bool quick = false;  ///< --quick: smaller data/epochs for smoke runs
   std::string cache_dir = "bench_cache";
+  std::string json_path;  ///< --json PATH: machine-readable results sink
+  /// Benches default to the discrete-event scheduler so every published
+  /// number — latency_ms included — is bit-reproducible from the seed;
+  /// --scheduler free_running restores the racing wall-clock mode.
+  sim::Scheduler scheduler = sim::Scheduler::discrete_event;
 };
 
 Options parse_options(int argc, char** argv);
 
 /// Prints the standard bench banner (what is being reproduced + caveats).
 void print_banner(const std::string& experiment, const std::string& paper_ref);
+
+/// Machine-readable results sink behind --json: collects one row per
+/// measured scenario and writes them as a single JSON document (experiment
+/// name, scheduler mode, and per-row approach/nodes/latency/accuracy/
+/// traffic). Doubles are emitted with %.17g so a bit-stable run produces a
+/// byte-stable file. No-op when the option was not given.
+class JsonReport {
+ public:
+  JsonReport(const Options& opts, std::string experiment);
+  void add(const std::string& label, const sim::ScenarioResult& result);
+  /// Writes the collected rows to Options::json_path. Call once at exit.
+  void write() const;
+
+ private:
+  std::string path_;
+  std::string experiment_;
+  std::string scheduler_;
+  struct Row {
+    std::string label;
+    sim::ScenarioResult result;
+  };
+  std::vector<Row> rows_;
+};
 
 // ---- MNIST (handwritten digit recognition, §VI-C) --------------------------
 

@@ -29,7 +29,9 @@ int main_impl(int argc, char** argv) {
   sim::ScenarioConfig cfg;
   cfg.num_queries = opts.quick ? 24 : 60;
   cfg.link = sim::socket_link();
+  cfg.scheduler = opts.scheduler;
 
+  JsonReport report(opts, "chaos_degradation");
   Table table({"fault rate", "accuracy (%)", "mean live nodes",
                "latency (ms)", "faults", "stale", "rejoins"});
   const double rates[] = {0.0, 0.05, 0.1, 0.2, 0.3};
@@ -43,6 +45,7 @@ int main_impl(int argc, char** argv) {
     chaos.probe_interval = 2;
     auto r = sim::run_teamnet_chaos(team4.expert_ptrs(), setup.test, cfg,
                                     chaos);
+    report.add("fault rate " + Table::num(rate, 2), r.scenario);
     table.add_row({Table::num(rate, 2),
                    Table::num(r.scenario.accuracy_pct, 1),
                    Table::num(mean_live(r), 2),
@@ -63,6 +66,7 @@ int main_impl(int argc, char** argv) {
   split.probe_interval = 1;
   auto healed = sim::run_teamnet_chaos(team4.expert_ptrs(), setup.test, cfg,
                                        split);
+  report.add("partition+heal", healed.scenario);
   table.add_row({"partition+heal",
                  Table::num(healed.scenario.accuracy_pct, 1),
                  Table::num(mean_live(healed), 2),
@@ -71,6 +75,7 @@ int main_impl(int argc, char** argv) {
                  std::to_string(healed.stale_replies),
                  std::to_string(healed.rejoins)});
   std::printf("%s", table.to_string().c_str());
+  report.write();
   std::printf("\nexpected shape: accuracy decays gently with the fault rate\n"
               "(the selection degrades to the surviving experts rather than\n"
               "failing), latency rises as timed-out gathers burn the full\n"

@@ -13,7 +13,8 @@ struct PaperRow {
   double accuracy;
 };
 
-void run_device(const MnistSetup& setup, nn::MlpNet& baseline,
+void run_device(const Options& opts, JsonReport& report,
+                const MnistSetup& setup, nn::MlpNet& baseline,
                 const TrainedTeam& team2, const TrainedTeam& team4,
                 moe::SgMoe& moe2, moe::SgMoe& moe4,
                 const sim::DeviceProfile& device, const std::string& label,
@@ -21,6 +22,7 @@ void run_device(const MnistSetup& setup, nn::MlpNet& baseline,
   sim::ScenarioConfig cfg;
   cfg.device = device;
   cfg.num_queries = 40;
+  cfg.scheduler = opts.scheduler;
 
   auto socket_cfg = cfg;
   socket_cfg.link = sim::socket_link();
@@ -32,6 +34,7 @@ void run_device(const MnistSetup& setup, nn::MlpNet& baseline,
   std::vector<PaperColumn> columns;
   auto add = [&](const std::string& header, sim::ScenarioResult result,
                  std::size_t paper_idx) {
+    report.add(label + " / " + header, result);
     PaperColumn col;
     col.header = header;
     col.measured = std::move(result);
@@ -82,10 +85,12 @@ int main_impl(int argc, char** argv) {
       {0.3, 98.8},  {1.5, 98.8}, {104.8, 98.8}, {5.8, 98.7}, {3.2, 98.6},
       {2.6, 98.7},  {187.7, 98.8}, {4.5, 98.5}, {6.9, 98.5}};
 
-  run_device(setup, *baseline, team2, team4, *moe2, *moe4,
+  JsonReport report(opts, "table1_jetson_mnist");
+  run_device(opts, report, setup, *baseline, team2, team4, *moe2, *moe4,
              sim::jetson_tx2_cpu(), "a: Jetson TX2 CPU only", paper_cpu);
-  run_device(setup, *baseline, team2, team4, *moe2, *moe4,
+  run_device(opts, report, setup, *baseline, team2, team4, *moe2, *moe4,
              sim::jetson_tx2_gpu(), "b: Jetson TX2 GPU and CPU", paper_gpu);
+  report.write();
   return 0;
 }
 

@@ -14,7 +14,8 @@ struct PaperRow {
   double accuracy;
 };
 
-void run_device(const CifarSetup& setup, nn::ShakeShakeNet& baseline,
+void run_device(const Options& opts, JsonReport& report,
+                const CifarSetup& setup, nn::ShakeShakeNet& baseline,
                 const TrainedTeam& team2, const TrainedTeam& team4,
                 moe::SgMoe& moe2, moe::SgMoe& moe4,
                 const sim::DeviceProfile& device, const std::string& label,
@@ -22,6 +23,7 @@ void run_device(const CifarSetup& setup, nn::ShakeShakeNet& baseline,
   sim::ScenarioConfig cfg;
   cfg.device = device;
   cfg.num_queries = 20;
+  cfg.scheduler = opts.scheduler;
 
   auto socket_cfg = cfg;
   socket_cfg.link = sim::socket_link();
@@ -33,6 +35,7 @@ void run_device(const CifarSetup& setup, nn::ShakeShakeNet& baseline,
   std::vector<PaperColumn> columns;
   auto add = [&](const std::string& header, sim::ScenarioResult result,
                  std::size_t idx) {
+    report.add(label + " / " + header, result);
     PaperColumn col;
     col.header = header;
     col.measured = std::move(result);
@@ -87,10 +90,12 @@ int main_impl(int argc, char** argv) {
       {31.7, 89.4}, {29.4, 89.0}, {13.1, 92.8},   {7062.9, 93.5},
       {30.6, 87.3}, {29.5, 87.3}};
 
-  run_device(setup, *baseline, team2, team4, *moe2, *moe4,
+  JsonReport report(opts, "table2_jetson_cifar");
+  run_device(opts, report, setup, *baseline, team2, team4, *moe2, *moe4,
              sim::jetson_tx2_cpu(), "a: Jetson TX2 CPU only", paper_cpu);
-  run_device(setup, *baseline, team2, team4, *moe2, *moe4,
+  run_device(opts, report, setup, *baseline, team2, team4, *moe2, *moe4,
              sim::jetson_tx2_gpu(), "b: Jetson TX2 GPU and CPU", paper_gpu);
+  report.write();
   return 0;
 }
 

@@ -42,6 +42,11 @@ FaultyChannel::FaultyChannel(ChannelPtr inner, FaultProfile profile,
     : inner_(std::move(inner)),
       profile_(profile),
       delay_(std::move(delay)),
+      now_([] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+      }),
       rng_(profile.seed),
       partition_send_(profile.partition_send),
       partition_recv_(profile.partition_recv) {
@@ -165,13 +170,16 @@ std::string FaultyChannel::recv() {
   }
 }
 
+void FaultyChannel::set_time_source(std::function<double()> now) {
+  TEAMNET_CHECK(now != nullptr);
+  now_ = std::move(now);
+}
+
 std::optional<std::string> FaultyChannel::recv_timeout(double seconds) {
-  // One real-time budget across retries: a dropped message must not reset
-  // the caller's deadline.
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+  // One budget across retries, measured on now_(): a dropped message must
+  // not reset the caller's deadline.
+  const double budget = seconds > 0.0 ? seconds : 0.0;
+  const double start = now_();
   for (;;) {
     {
       MutexLock lock(mutex_);
@@ -182,10 +190,7 @@ std::optional<std::string> FaultyChannel::recv_timeout(double seconds) {
         return bytes;
       }
     }
-    const double remaining =
-        std::chrono::duration<double>(deadline -
-                                      std::chrono::steady_clock::now())
-            .count();
+    const double remaining = budget - (now_() - start);
     auto bytes = inner_->recv_timeout(remaining > 0.0 ? remaining : 0.0);
     if (!bytes) return std::nullopt;
     MutexLock lock(mutex_);

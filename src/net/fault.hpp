@@ -70,6 +70,16 @@ class FaultyChannel final : public Channel {
   /// every outbound message, `recv_lost` every inbound one.
   void set_partition(bool send_lost, bool recv_lost);
 
+  /// Replaces the clock recv_timeout budgets are measured against (seconds,
+  /// monotone non-decreasing). Defaults to the real steady clock — right
+  /// when wrapping TCP or free-running sim channels, whose deadlines elapse
+  /// in real time. The discrete-event scheduler injects virtual time here
+  /// instead: under DES the inner channel's timeouts consume virtual
+  /// seconds, and measuring the remaining budget on the real clock would
+  /// feed scheduling noise back into the retry sequence. Configure before
+  /// any traffic flows, like the DelayFn.
+  void set_time_source(std::function<double()> now);
+
   /// The recorded fault schedule so far, one `tx#N <fault>` / `rx#N <fault>`
   /// line per injected fault. Byte-identical across runs for the same seed
   /// and the same message sequence.
@@ -100,6 +110,7 @@ class FaultyChannel final : public Channel {
   ChannelPtr inner_;
   const FaultProfile profile_;
   DelayFn delay_;
+  std::function<double()> now_;  ///< timeout clock; see set_time_source
 
   mutable Mutex mutex_;
   Rng rng_ TN_GUARDED_BY(mutex_);

@@ -1,0 +1,61 @@
+#include "sim/des/des_channel.hpp"
+
+#include <utility>
+
+namespace teamnet::sim::des {
+
+DesChannel::DesChannel(Engine& engine, int self, std::shared_ptr<Mailbox> in,
+                       std::shared_ptr<Mailbox> out, net::LinkProfile link)
+    : engine_(engine),
+      self_(self),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      link_(link) {
+  TEAMNET_CHECK_MSG(in_ != nullptr && out_ != nullptr,
+                    "DesChannel needs both mailboxes");
+  TEAMNET_CHECK_MSG(in_->owner() == self_, "inbox must belong to self");
+}
+
+void DesChannel::send(std::string bytes) {
+  engine_.send(self_, out_, std::move(bytes), link_);
+}
+
+std::string DesChannel::recv() { return engine_.recv(self_, *in_); }
+
+std::optional<std::string> DesChannel::recv_timeout(double seconds) {
+  return engine_.recv_timeout(self_, *in_, seconds);
+}
+
+void DesChannel::close() {
+  engine_.close(*in_);
+  engine_.close(*out_);
+}
+
+std::pair<net::ChannelPtr, net::ChannelPtr> make_des_pair(
+    Engine& engine, int a, int b, const net::LinkProfile& link) {
+  auto to_a = engine.make_mailbox(a);
+  auto to_b = engine.make_mailbox(b);
+  auto chan_a = std::make_unique<DesChannel>(engine, a, to_a, to_b, link);
+  auto chan_b = std::make_unique<DesChannel>(engine, b, to_b, to_a, link);
+  return {std::move(chan_a), std::move(chan_b)};
+}
+
+std::vector<std::vector<net::ChannelPtr>> make_des_mesh(
+    Engine& engine, int n, const net::LinkProfile& link) {
+  TEAMNET_CHECK_MSG(n >= 1 && n <= engine.num_nodes(),
+                    "mesh larger than engine");
+  std::vector<std::vector<net::ChannelPtr>> mesh(static_cast<std::size_t>(n));
+  for (auto& row : mesh) row.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      auto [ci, cj] = make_des_pair(engine, i, j, link);
+      mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::move(ci);
+      mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+          std::move(cj);
+    }
+  }
+  return mesh;
+}
+
+}  // namespace teamnet::sim::des

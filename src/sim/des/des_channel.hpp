@@ -1,0 +1,57 @@
+// Channel implementation backed by the discrete-event engine.
+//
+// DesChannel is the DES counterpart of make_sim_channel: the same blocking
+// Channel interface the protocol code already runs over, but every send
+// schedules a delivery event in the engine and every recv parks the node
+// thread until the engine hands the message over in virtual-time order.
+// Unlike SimChannel there is no timestamp stamped into the payload — the
+// engine knows the sender's clock — so decorators that inspect or mutate
+// bytes (FaultyChannel corruption, fuzzed decoders) see the pure payload,
+// and byte counters match SimChannel's payload accounting.
+//
+// Composable under make_faulty_channel exactly like SimChannel; the chaos
+// scenario wraps mesh legs without caring which scheduler built them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/des/engine.hpp"
+
+namespace teamnet::sim::des {
+
+class DesChannel final : public net::Channel {
+ public:
+  /// Endpoint at node `self`: reads from `in` (messages addressed to self),
+  /// writes into `out` (the peer's inbox) over `link`. `engine` must
+  /// outlive the channel.
+  DesChannel(Engine& engine, int self, std::shared_ptr<Mailbox> in,
+             std::shared_ptr<Mailbox> out, net::LinkProfile link);
+
+  void send(std::string bytes) override;
+  std::string recv() override;
+  std::optional<std::string> recv_timeout(double seconds) override;
+  /// Closes both directions (InProc close semantics): queued and in-flight
+  /// messages still drain, then readers on either end get NetworkError.
+  void close() override;
+
+ private:
+  Engine& engine_;
+  const int self_;
+  std::shared_ptr<Mailbox> in_;
+  std::shared_ptr<Mailbox> out_;
+  const net::LinkProfile link_;
+};
+
+/// Connected DES channel pair between nodes `a` and `b`.
+std::pair<net::ChannelPtr, net::ChannelPtr> make_des_pair(
+    Engine& engine, int a, int b, const net::LinkProfile& link);
+
+/// Fully connected DES mesh of `n` nodes, laid out exactly like
+/// make_sim_mesh: mesh[i][j] is node i's channel to node j (nullptr on the
+/// diagonal). `engine` must have at least `n` nodes and outlive the mesh.
+std::vector<std::vector<net::ChannelPtr>> make_des_mesh(
+    Engine& engine, int n, const net::LinkProfile& link);
+
+}  // namespace teamnet::sim::des

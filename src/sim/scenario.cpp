@@ -19,25 +19,19 @@ namespace {
 
 /// Wraps a worker thread body: a worker that dies on a closed channel (the
 /// master's error-recovery path) must exit its thread cleanly, not call
-/// std::terminate through an escaped exception.
+/// std::terminate through an escaped exception. Whatever the exit path, the
+/// node is retired: under discrete_event a finished-but-unretired node
+/// would hold the virtual-time floor and stall every pending delivery.
 template <typename Fn>
-std::thread spawn_worker(Fn fn) {
-  return std::thread([fn = std::move(fn)] {
+std::thread spawn_worker(SimNet& net, int node, Fn fn) {
+  return std::thread([&net, node, fn = std::move(fn)] {
     try {
       fn();
     } catch (const Error& e) {
       LOG_WARN("scenario worker thread exiting on error: " << e.what());
     }
+    net.retire(node);
   });
-}
-
-/// Closes every channel in a sim mesh, waking any thread blocked in recv.
-void close_mesh(std::vector<std::vector<net::ChannelPtr>>& mesh) {
-  for (auto& row : mesh) {
-    for (auto& ch : row) {
-      if (ch) ch->close();
-    }
-  }
 }
 
 /// Picks `n` query rows from the test set (deterministic per seed).
@@ -56,12 +50,11 @@ Tensor query_tensor(const data::Dataset& test, int row) {
 
 /// Compute hook that advances `node`'s virtual clock on `device` and tracks
 /// that node's total compute seconds.
-net::ComputeHook make_hook(net::VirtualClock& clock, int node,
-                           const DeviceProfile& device,
+net::ComputeHook make_hook(SimNet& net, int node, const DeviceProfile& device,
                            std::atomic<double>* compute_total) {
-  return [&clock, node, &device, compute_total](std::int64_t flops) {
+  return [&net, node, &device, compute_total](std::int64_t flops) {
     const double seconds = device.compute_time(flops);
-    clock.advance(node, seconds);
+    net.advance(node, seconds);
     if (compute_total != nullptr) {
       double expected = compute_total->load();
       while (!compute_total->compare_exchange_weak(expected,
@@ -110,8 +103,7 @@ ScenarioResult run_teamnet_heterogeneous(
     const ScenarioConfig& config) {
   TEAMNET_CHECK(experts.size() >= 2 && devices.size() == experts.size());
   const int k = static_cast<int>(experts.size());
-  net::VirtualClock clock(k);
-  auto mesh = net::make_sim_mesh(k, clock, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link);
 
   std::atomic<double> master_compute{0.0};
   // Workers 1..k-1 serve their experts on their own device profiles.
@@ -119,43 +111,46 @@ ScenarioResult run_teamnet_heterogeneous(
   std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
   for (int i = 1; i < k; ++i) {
     workers.push_back(std::make_unique<net::CollaborativeWorker>(
-        *experts[static_cast<std::size_t>(i)],
-        *mesh[static_cast<std::size_t>(i)][0]));
+        *experts[static_cast<std::size_t>(i)], net->channel(i, 0)));
     workers.back()->set_compute_hook(
-        make_hook(clock, i, devices[static_cast<std::size_t>(i)], nullptr));
-    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
+        make_hook(*net, i, devices[static_cast<std::size_t>(i)], nullptr));
+    threads.push_back(
+        spawn_worker(*net, i, [w = workers.back().get()] { w->serve(); }));
   }
 
   std::vector<net::Channel*> worker_channels;
   for (int i = 1; i < k; ++i) {
-    worker_channels.push_back(mesh[0][static_cast<std::size_t>(i)].get());
+    worker_channels.push_back(&net->channel(0, i));
   }
   net::CollaborativeMaster master(*experts[0], worker_channels);
-  master.set_compute_hook(make_hook(clock, 0, devices[0], &master_compute));
+  master.set_compute_hook(make_hook(*net, 0, devices[0], &master_compute));
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   double total_latency = 0.0;
   std::size_t correct = 0;
-  const std::int64_t bytes_before = clock.bytes_delivered();
-  const std::int64_t msgs_before = clock.messages_delivered();
+  const std::int64_t bytes_before = net->bytes_delivered();
+  const std::int64_t msgs_before = net->messages_delivered();
   try {
     for (int row : queries) {
-      const double t0 = clock.node_time(0);
+      const double t0 = net->node_time(0);
       auto res = master.infer(query_tensor(test, row));
-      total_latency += clock.node_time(0) - t0;
+      total_latency += net->node_time(0) - t0;
       if (res.predictions[0] == test.labels[static_cast<std::size_t>(row)]) {
         ++correct;
       }
     }
   } catch (...) {
-    // Wake workers blocked in recv, join them, then surface the error.
-    close_mesh(mesh);
+    // Wake workers blocked in recv, release the master's virtual-time
+    // floor, join them, then surface the error.
+    net->close_all();
+    net->retire(0);
     for (auto& t : threads) t.join();
     throw;
   }
-  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
-  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+  const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = net->messages_delivered() - msgs_before;
   master.shutdown();
+  net->retire(0);
   for (auto& t : threads) t.join();
 
   ScenarioResult result;
@@ -206,19 +201,19 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
       chaos.partition_worker < static_cast<int>(experts.size()) - 1,
       "partition_worker must name a worker (0-based, < num_workers)");
   const int k = static_cast<int>(experts.size());
-  net::VirtualClock clock(k);
-  auto mesh = net::make_sim_mesh(k, clock, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link);
+  SimNet* netp = net.get();
 
   std::atomic<double> master_compute{0.0};
   std::vector<std::thread> threads;
   std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
   for (int i = 1; i < k; ++i) {
     workers.push_back(std::make_unique<net::CollaborativeWorker>(
-        *experts[static_cast<std::size_t>(i)],
-        *mesh[static_cast<std::size_t>(i)][0]));
+        *experts[static_cast<std::size_t>(i)], net->channel(i, 0)));
     workers.back()->set_compute_hook(
-        make_hook(clock, i, config.device, nullptr));
-    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
+        make_hook(*net, i, config.device, nullptr));
+    threads.push_back(
+        spawn_worker(*net, i, [w = workers.back().get()] { w->serve(); }));
   }
 
   // The master reaches every worker through a FaultyChannel wrapped around
@@ -226,29 +221,37 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
   // whole fleet's fault schedule reproduces from chaos.faults.seed. Delay
   // faults advance the master's virtual clock instead of sleeping.
   Rng seeder(chaos.faults.seed);
-  net::DelayFn delay = [&clock](double seconds) { clock.advance(0, seconds); };
+  net::DelayFn delay = [netp](double seconds) { netp->advance(0, seconds); };
   std::vector<std::unique_ptr<net::FaultyChannel>> faulty;
   std::vector<net::Channel*> worker_channels;
   for (int i = 1; i < k; ++i) {
     net::FaultProfile profile = chaos.faults;
     profile.seed = seeder.fork(static_cast<std::uint64_t>(i)).engine()();
     faulty.push_back(std::make_unique<net::FaultyChannel>(
-        std::move(mesh[0][static_cast<std::size_t>(i)]), profile, delay));
+        net->take_channel(0, i), profile, delay));
+    if (config.scheduler == Scheduler::discrete_event) {
+      // Timeout budgets must burn virtual time, not wall time: the real
+      // clock's sub-deadline remainders differ run to run and would leak
+      // nondeterminism into the recv_timeout sequence the inner DesChannel
+      // sees. Free-running keeps the default real clock (its deadlines
+      // really do elapse in real time).
+      faulty.back()->set_time_source([netp] { return netp->node_time(0); });
+    }
     worker_channels.push_back(faulty.back().get());
   }
 
   net::CollaborativeMaster master(*experts[0], worker_channels);
-  master.set_compute_hook(make_hook(clock, 0, config.device, &master_compute));
+  master.set_compute_hook(make_hook(*net, 0, config.device, &master_compute));
   master.set_worker_timeout(chaos.worker_timeout_s);
   master.set_probe_interval(chaos.probe_interval);
-  master.set_time_source([&clock] { return clock.node_time(0); });
+  master.set_time_source([netp] { return netp->node_time(0); });
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   ChaosResult result;
   double total_latency = 0.0;
   std::size_t n_correct = 0;
-  const std::int64_t bytes_before = clock.bytes_delivered();
-  const std::int64_t msgs_before = clock.messages_delivered();
+  const std::int64_t bytes_before = net->bytes_delivered();
+  const std::int64_t msgs_before = net->messages_delivered();
   try {
     for (std::size_t q = 0; q < queries.size(); ++q) {
       const int qi = static_cast<int>(q);
@@ -258,9 +261,9 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
         if (qi == chaos.heal_at_query) link.set_partition(false, false);
       }
       const int row = queries[q];
-      const double t0 = clock.node_time(0);
+      const double t0 = net->node_time(0);
       auto res = master.infer(query_tensor(test, row));
-      total_latency += clock.node_time(0) - t0;
+      total_latency += net->node_time(0) - t0;
       const bool ok =
           res.predictions[0] == test.labels[static_cast<std::size_t>(row)];
       if (ok) ++n_correct;
@@ -269,7 +272,8 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
     }
   } catch (...) {
     for (auto& link : faulty) link->close();
-    close_mesh(mesh);
+    net->close_all();
+    net->retire(0);
     for (auto& t : threads) t.join();
     throw;
   }
@@ -298,11 +302,12 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
     }
   }
   master.shutdown();  // closes the faulty channels, waking every worker
+  net->retire(0);
   for (auto& t : threads) t.join();
   // Counted after the quiesce + join, so the totals are deterministic; they
   // include the quiesce Ping/Pong pairs and the Shutdown messages.
-  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
-  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+  const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = net->messages_delivered() - msgs_before;
 
   result.stale_replies = master.stale_replies_discarded();
   result.rejoins = master.rejoins();
@@ -340,8 +345,7 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
                                nn::Module& model_for_metrics,
                                MakeRunner make_runner) {
   model_for_metrics.set_training(false);  // before any rank thread starts
-  net::VirtualClock clock(num_nodes);
-  auto mesh = net::make_sim_mesh(num_nodes, clock, config.link);
+  auto net = make_sim_net(config.scheduler, num_nodes, config.link);
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   std::atomic<double> rank0_compute{0.0};
@@ -351,13 +355,11 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
                                      nullptr);
     for (int r = 0; r < num_nodes; ++r) {
       if (r != rank) {
-        peers[static_cast<std::size_t>(r)] =
-            mesh[static_cast<std::size_t>(rank)][static_cast<std::size_t>(r)]
-                .get();
+        peers[static_cast<std::size_t>(r)] = &net->channel(rank, r);
       }
     }
     mpi::Communicator comm(rank, peers);
-    net::ComputeHook hook = make_hook(clock, rank, config.device,
+    net::ComputeHook hook = make_hook(*net, rank, config.device,
                                       rank == 0 ? &rank0_compute : nullptr);
     auto run_query = make_runner(comm, hook);
     for (int row : queries) {
@@ -371,6 +373,8 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
   // A rank that throws records the first error and closes the mesh so the
   // surviving ranks (blocked in collectives) fail fast instead of
   // deadlocking; every thread is always joined before the error resurfaces.
+  // Each rank retires on exit, error or not, so remaining ranks' deliveries
+  // keep flowing under discrete_event.
   // `error_mutex` (leaf lock) guards `first_error`; both are stack locals
   // whose lifetime spans every rank thread, joined below before either is
   // read. Locals cannot carry TN_GUARDED_BY, so the annotated wrappers
@@ -385,13 +389,14 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
         MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      close_mesh(mesh);
+      net->close_all();
     }
+    net->retire(rank);
   };
 
-  const std::int64_t bytes_before = clock.bytes_delivered();
-  const std::int64_t msgs_before = clock.messages_delivered();
-  const double t0 = clock.node_time(0);
+  const std::int64_t bytes_before = net->bytes_delivered();
+  const std::int64_t msgs_before = net->messages_delivered();
+  const double t0 = net->node_time(0);
   std::vector<std::thread> threads;
   for (int r = 1; r < num_nodes; ++r) {
     threads.emplace_back(rank_guarded, r);
@@ -399,7 +404,7 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
   rank_guarded(0);
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
-  const double total_latency = clock.node_time(0) - t0;
+  const double total_latency = net->node_time(0) - t0;
 
   ScenarioResult result;
   result.approach = approach;
@@ -414,10 +419,10 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
                       model_for_metrics, test.sample_shape()))),
       rank0_compute.load() / total_latency);
   result.bytes_per_query =
-      static_cast<double>(clock.bytes_delivered() - bytes_before) /
+      static_cast<double>(net->bytes_delivered() - bytes_before) /
       config.num_queries;
   result.messages_per_query =
-      static_cast<double>(clock.messages_delivered() - msgs_before) /
+      static_cast<double>(net->messages_delivered() - msgs_before) /
       config.num_queries;
   return result;
 }
@@ -464,45 +469,47 @@ ScenarioResult run_mpi_branch(nn::ShakeShakeNet& model,
 ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
                           const ScenarioConfig& config) {
   const int k = model.num_experts();
-  net::VirtualClock clock(k);
-  auto mesh = net::make_sim_mesh(k, clock, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link);
 
   std::atomic<double> master_compute{0.0};
   std::vector<std::thread> threads;
   std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
   for (int i = 1; i < k; ++i) {
     workers.push_back(std::make_unique<net::CollaborativeWorker>(
-        model.expert(i), *mesh[static_cast<std::size_t>(i)][0]));
+        model.expert(i), net->channel(i, 0)));
     workers.back()->set_compute_hook(
-        make_hook(clock, i, config.device, nullptr));
-    threads.push_back(spawn_worker([w = workers.back().get()] { w->serve(); }));
+        make_hook(*net, i, config.device, nullptr));
+    threads.push_back(
+        spawn_worker(*net, i, [w = workers.back().get()] { w->serve(); }));
   }
 
   std::vector<net::Channel*> worker_channels;
   for (int i = 1; i < k; ++i) {
-    worker_channels.push_back(mesh[0][static_cast<std::size_t>(i)].get());
+    worker_channels.push_back(&net->channel(0, i));
   }
   moe::MoeMaster master(model, worker_channels);
-  master.set_compute_hook(make_hook(clock, 0, config.device, &master_compute));
+  master.set_compute_hook(make_hook(*net, 0, config.device, &master_compute));
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   double total_latency = 0.0;
-  const std::int64_t bytes_before = clock.bytes_delivered();
-  const std::int64_t msgs_before = clock.messages_delivered();
+  const std::int64_t bytes_before = net->bytes_delivered();
+  const std::int64_t msgs_before = net->messages_delivered();
   try {
     for (int row : queries) {
-      const double t0 = clock.node_time(0);
+      const double t0 = net->node_time(0);
       master.infer(query_tensor(test, row));
-      total_latency += clock.node_time(0) - t0;
+      total_latency += net->node_time(0) - t0;
     }
   } catch (...) {
-    close_mesh(mesh);
+    net->close_all();
+    net->retire(0);
     for (auto& t : threads) t.join();
     throw;
   }
-  const std::int64_t bytes_used = clock.bytes_delivered() - bytes_before;
-  const std::int64_t msgs_used = clock.messages_delivered() - msgs_before;
+  const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = net->messages_delivered() - msgs_before;
   master.shutdown();
+  net->retire(0);
   for (auto& t : threads) t.join();
 
   ScenarioResult result;

@@ -20,6 +20,7 @@
 #include "nn/mlp.hpp"
 #include "nn/shake_shake.hpp"
 #include "sim/calibration.hpp"
+#include "sim/des/runtime.hpp"
 #include "sim/device.hpp"
 #include "sim/resource.hpp"
 
@@ -30,6 +31,11 @@ struct ScenarioConfig {
   net::LinkProfile link = socket_link();
   int num_queries = 40;    ///< latency-measurement queries (batch 1 each)
   std::uint64_t seed = 123;
+  /// free_running keeps the historical threads-plus-VirtualClock mode;
+  /// discrete_event runs the same protocol under sim/des for bit-stable
+  /// results (latency_ms included). Discrete outcomes — selection,
+  /// accuracy, fault schedules, traffic counts — agree between the two.
+  Scheduler scheduler = Scheduler::free_running;
 };
 
 struct ScenarioResult {

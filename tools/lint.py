@@ -31,6 +31,14 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  close-then-join error-recovery discipline the scenario
                  and transport layers rely on. Threads are always joined.
 
+  wall-clock-in-sim  Wall-clock reads (std::chrono::*_clock::now) and real
+                 sleeps (sleep_for / sleep_until) are forbidden in the
+                 virtual-time surfaces: src/sim/**, src/net/virtual_clock.*
+                 and bench/**. One wall-clock read in a scenario driver or
+                 bench silently breaks the bit-stability the determinism CI
+                 gate enforces; time must come from VirtualClock /
+                 des::Engine (or an injected time source).
+
   naked-recv     Bare blocking channel.recv() is forbidden in the protocol
                  layers (src/net/**, src/moe/**): a gather that blocks
                  forever on one dead peer wedges the whole query. Use
@@ -83,6 +91,13 @@ RAW_MUTEX_RE = re.compile(
 RAW_MUTEX_ALLOWED = {SRC / "common" / "annotations.hpp"}
 
 DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::\w*_clock::now|\bsleep_for\b|\bsleep_until\b"
+)
+# File-level exemptions from wall-clock-in-sim (none today; line-level
+# escapes go through `// lint:allow(wall-clock-in-sim)` like every rule).
+WALL_CLOCK_ALLOWED: set[pathlib.Path] = set()
 
 # Matches `.recv(` / `->recv(` but not recv_timeout / recv_from.
 NAKED_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(")
@@ -212,6 +227,35 @@ def check_thread_detach(path: pathlib.Path, code: list[str]) -> list[Finding]:
     return findings
 
 
+def in_wall_clock_scope(path: pathlib.Path) -> bool:
+    if path in WALL_CLOCK_ALLOWED:
+        return False
+    if str(path).startswith(str(REPO / "bench")):
+        return True
+    try:
+        rel = path.relative_to(SRC)
+    except ValueError:
+        return False
+    if rel.parts[0] == "sim":
+        return True
+    return rel.parts[0] == "net" and path.stem == "virtual_clock"
+
+
+def check_wall_clock(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    if not in_wall_clock_scope(path):
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if WALL_CLOCK_RE.search(line):
+            findings.append(Finding(
+                path, i, "wall-clock-in-sim",
+                "wall-clock read/sleep in a virtual-time surface; this "
+                "breaks the bit-stability the determinism gate enforces — "
+                "take time from VirtualClock / des::Engine (or an injected "
+                "time source)"))
+    return findings
+
+
 def check_naked_recv(path: pathlib.Path, code: list[str]) -> list[Finding]:
     try:
         rel = path.relative_to(SRC)
@@ -233,7 +277,7 @@ def check_naked_recv(path: pathlib.Path, code: list[str]) -> list[Finding]:
 
 
 CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
-          check_thread_detach, check_naked_recv]
+          check_thread_detach, check_wall_clock, check_naked_recv]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -298,6 +342,21 @@ def self_test() -> int:
          "worker.join();\n", False),
         ("thread-detach", SRC / "core" / "seeded.cpp",
          "// delta is detached here; the meta-estimator owns it\n", False),
+        ("wall-clock-in-sim", SRC / "sim" / "seeded.cpp",
+         "const auto t0 = std::chrono::steady_clock::now();\n", True),
+        ("wall-clock-in-sim", SRC / "sim" / "des" / "seeded.cpp",
+         "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n", True),
+        ("wall-clock-in-sim", SRC / "net" / "virtual_clock.cpp",
+         "return std::chrono::system_clock::now();\n", True),
+        ("wall-clock-in-sim", REPO / "bench" / "seeded.cpp",
+         "std::this_thread::sleep_until(deadline);\n", True),
+        ("wall-clock-in-sim", SRC / "net" / "tcp.cpp",
+         "const auto t0 = std::chrono::steady_clock::now();\n", False),
+        ("wall-clock-in-sim", SRC / "sim" / "seeded.cpp",
+         "const double t = net->node_time(0);\n", False),
+        ("wall-clock-in-sim", REPO / "tests" / "seeded.cpp",
+         "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n",
+         False),  # tests are out of scope
         ("naked-recv", SRC / "net" / "seeded.cpp",
          "Message reply = Message::decode(channel.recv());\n", True),
         ("naked-recv", SRC / "moe" / "seeded.cpp",
