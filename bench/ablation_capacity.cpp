@@ -100,6 +100,7 @@ int main_impl(int argc, char** argv) {
   std::printf("\nexpected shape: the RPi straggler dominates the equal\n"
               "configuration; giving it the smaller expert cuts the\n"
               "per-query critical path.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

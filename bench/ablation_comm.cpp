@@ -43,6 +43,7 @@ int main_impl(int argc, char** argv) {
               "K-1 gathers per query regardless of model depth; MPI-Matrix\n"
               "pays ~2(K-1) messages per Linear layer, so its latency scales\n"
               "with depth x nodes and dominates everything else.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -111,6 +111,7 @@ int main_impl(int argc, char** argv) {
   std::printf("\nexpected shape: decentralized selection pays extra summary\n"
               "messages (allgather + barrier) for coordinator-free agreement;\n"
               "the gap grows with the number of nodes.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

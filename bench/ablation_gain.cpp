@@ -74,6 +74,7 @@ int main_impl(int argc, char** argv) {
   std::printf("\nexpected shape: larger a corrects faster (fewer iterations\n"
               "to 1/K) at the cost of more per-batch oscillation; tiny a\n"
               "barely corrects within the horizon.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -83,6 +83,7 @@ int main_impl(int argc, char** argv) {
   std::printf("\nexpected shape: learned/proportional keep partitions near\n"
               "1/K; plain argmin drifts (richer-gets-richer); random balances\n"
               "the data but forfeits specialization.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -61,6 +61,7 @@ int main_impl(int argc, char** argv) {
               "index expectation degrades for K>=3 (a row split between\n"
               "experts 0 and 2 credits expert 1), while softmax weights\n"
               "converge with fewer iterations everywhere.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

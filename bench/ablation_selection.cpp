@@ -33,6 +33,7 @@ int main_impl(int argc, char** argv) {
   std::printf("\nexpected shape: argmin-entropy >= majority vote — specialized\n"
               "experts are wrong outside their partition, so counting their\n"
               "votes hurts.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

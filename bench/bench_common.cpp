@@ -11,6 +11,8 @@
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace teamnet::bench {
 
@@ -104,6 +106,22 @@ std::string json_number(double v) {
 
 }  // namespace
 
+namespace {
+
+/// Bad output paths are usage errors: diagnose on stderr and exit(2) like
+/// the other flag errors instead of aborting on an uncaught exception.
+void require_writable_parent_or_exit(const std::string& path,
+                                     const char* flag) {
+  try {
+    obs::require_writable_parent(path, flag);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
 Options parse_options(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +132,15 @@ Options parse_options(int argc, char** argv) {
       opts.cache_dir = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       opts.json_path = argv[++i];
+      require_writable_parent_or_exit(opts.json_path, "--json");
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+      require_writable_parent_or_exit(opts.trace_path, "--trace");
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
+      require_writable_parent_or_exit(opts.metrics_path, "--metrics");
+    } else if (arg == "--trace-sched") {
+      opts.trace_sched = true;
     } else if (arg == "--scheduler" && i + 1 < argc) {
       const std::string mode = argv[++i];
       if (mode == "free_running") {
@@ -130,12 +157,29 @@ Options parse_options(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--verbose] [--cache-dir DIR] "
-                   "[--json PATH] [--scheduler free_running|discrete_event]\n",
+                   "[--json PATH] [--trace PATH] [--metrics PATH] "
+                   "[--trace-sched] "
+                   "[--scheduler free_running|discrete_event]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  if (!opts.trace_path.empty()) {
+    obs::Tracer::instance().set_scheduler_events(opts.trace_sched);
+    obs::Tracer::instance().start();
+  }
   return opts;
+}
+
+void write_observability_outputs(const Options& opts) {
+  if (!opts.trace_path.empty()) {
+    obs::Tracer::instance().write(opts.trace_path);
+    std::printf("wrote trace to %s\n", opts.trace_path.c_str());
+  }
+  if (!opts.metrics_path.empty()) {
+    obs::write_metrics_json(opts.metrics_path);
+    std::printf("wrote metrics snapshot to %s\n", opts.metrics_path.c_str());
+  }
 }
 
 void print_banner(const std::string& experiment, const std::string& paper_ref) {
@@ -469,10 +513,18 @@ void JsonReport::add(const std::string& label,
   rows_.push_back({label, result});
 }
 
+void JsonReport::add_convergence(const std::string& label,
+                                 const core::ConvergenceTelemetry& telemetry) {
+  if (path_.empty()) return;
+  convergence_.push_back({label, telemetry.series()});
+}
+
 void JsonReport::write() const {
   if (path_.empty()) return;
   std::ofstream os(path_);
-  TEAMNET_CHECK_MSG(os.good(), "cannot open --json output file");
+  if (!os.good()) {
+    throw Error("cannot open --json output file: " + path_);
+  }
   os << "{\n"
      << "  \"experiment\": \"" << json_escape(experiment_) << "\",\n"
      << "  \"scheduler\": \"" << scheduler_ << "\",\n"
@@ -490,7 +542,39 @@ void JsonReport::write() const {
        << "\"messages_per_query\": " << json_number(r.messages_per_query)
        << "}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (!convergence_.empty()) {
+    os << ",\n  \"convergence\": [";
+    for (std::size_t i = 0; i < convergence_.size(); ++i) {
+      const ConvergenceRow& row = convergence_[i];
+      const auto& s = row.series;
+      os << (i == 0 ? "" : ",") << "\n    {\"label\": \""
+         << json_escape(row.label) << "\", \"gamma_bar\": [";
+      for (std::size_t t = 0; t < s.gamma_bar.size(); ++t) {
+        os << (t == 0 ? "[" : ", [");
+        for (std::size_t e = 0; e < s.gamma_bar[t].size(); ++e) {
+          os << (e == 0 ? "" : ", ")
+             << json_number(static_cast<double>(s.gamma_bar[t][e]));
+        }
+        os << "]";
+      }
+      os << "], \"objective\": [";
+      for (std::size_t t = 0; t < s.objective.size(); ++t) {
+        os << (t == 0 ? "" : ", ")
+           << json_number(static_cast<double>(s.objective[t]));
+      }
+      os << "], \"gate_iters\": [";
+      for (std::size_t t = 0; t < s.gate_iters.size(); ++t) {
+        os << (t == 0 ? "" : ", ") << s.gate_iters[t];
+      }
+      os << "]}";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
+  if (!os.good()) {
+    throw Error("failed writing --json output file: " + path_);
+  }
   std::printf("\nwrote %zu result rows to %s\n", rows_.size(), path_.c_str());
 }
 

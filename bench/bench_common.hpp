@@ -23,14 +23,28 @@ namespace teamnet::bench {
 struct Options {
   bool quick = false;  ///< --quick: smaller data/epochs for smoke runs
   std::string cache_dir = "bench_cache";
-  std::string json_path;  ///< --json PATH: machine-readable results sink
+  std::string json_path;     ///< --json PATH: machine-readable results sink
+  std::string trace_path;    ///< --trace PATH: Chrome trace-event JSON sink
+  std::string metrics_path;  ///< --metrics PATH: metrics snapshot JSON sink
+  bool trace_sched = false;  ///< --trace-sched: include DES scheduler events
   /// Benches default to the discrete-event scheduler so every published
   /// number — latency_ms included — is bit-reproducible from the seed;
   /// --scheduler free_running restores the racing wall-clock mode.
   sim::Scheduler scheduler = sim::Scheduler::discrete_event;
 };
 
+/// Parses the shared bench flags. Every output-file flag (--json, --trace,
+/// --metrics) fails fast with a teamnet::Error naming the flag and path when
+/// the parent directory does not exist, instead of discovering the problem
+/// after minutes of training. --trace also arms the process tracer;
+/// write_observability_outputs() drains it.
 Options parse_options(int argc, char** argv);
+
+/// Writes the trace (--trace) and metrics snapshot (--metrics) if those
+/// options were given. Call once at the end of main, after the last
+/// scenario completes (an atexit hook would also fire on std::exit from
+/// usage errors, writing empty files).
+void write_observability_outputs(const Options& opts);
 
 /// Prints the standard bench banner (what is being reproduced + caveats).
 void print_banner(const std::string& experiment, const std::string& paper_ref);
@@ -44,6 +58,12 @@ class JsonReport {
  public:
   JsonReport(const Options& opts, std::string experiment);
   void add(const std::string& label, const sim::ScenarioResult& result);
+  /// Attaches the full per-iteration convergence series (gamma-bar per
+  /// expert, gate objective, inner-loop iterations) for one trained team.
+  /// The figure benches use this so --json carries the exact curves the
+  /// terminal plot renders.
+  void add_convergence(const std::string& label,
+                       const core::ConvergenceTelemetry& telemetry);
   /// Writes the collected rows to Options::json_path. Call once at exit.
   void write() const;
 
@@ -56,6 +76,11 @@ class JsonReport {
     sim::ScenarioResult result;
   };
   std::vector<Row> rows_;
+  struct ConvergenceRow {
+    std::string label;
+    core::ConvergenceTelemetry::Series series;
+  };
+  std::vector<ConvergenceRow> convergence_;
 };
 
 // ---- MNIST (handwritten digit recognition, §VI-C) --------------------------

@@ -81,6 +81,7 @@ int main_impl(int argc, char** argv) {
               "failing), latency rises as timed-out gathers burn the full\n"
               "deadline, and the partition+heal row ends with rejoins >= 1\n"
               "— the partitioned worker returns to the live set.\n");
+  write_observability_outputs(opts);
   return 0;
 }
 

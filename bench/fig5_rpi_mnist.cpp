@@ -57,6 +57,7 @@ int main_impl(int argc, char** argv) {
                   ? "OK"
                   : "MISMATCH",
               b.accuracy_pct, t2.accuracy_pct, t4.accuracy_pct);
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -53,12 +53,22 @@ int main_impl(int argc, char** argv) {
   print_series(team2.telemetry, 2);
   print_series(team4.telemetry, 4);
 
+  // Full per-iteration series: into --json directly, and into the metrics
+  // registry so a --metrics snapshot carries the same curves.
+  JsonReport report(opts, "fig6_convergence_mnist");
+  report.add_convergence("TeamNet x2", team2.telemetry);
+  report.add_convergence("TeamNet x4", team4.telemetry);
+  team2.telemetry.export_to_metrics("fig6.k2");
+  team4.telemetry.export_to_metrics("fig6.k4");
+
   const int c2 = team2.telemetry.iterations_to_converge(0.15f, 5);
   const int c4 = team4.telemetry.iterations_to_converge(0.15f, 5);
   std::printf("\nshape check (paper: K=4 converges later than K=2, ~12k vs"
               " ~15k iters at full MNIST scale): K=2 -> %d, K=4 -> %d  %s\n",
               c2, c4,
               (c2 >= 0 && (c4 < 0 || c4 >= c2)) ? "OK" : "MISMATCH");
+  report.write();
+  write_observability_outputs(opts);
   return 0;
 }
 

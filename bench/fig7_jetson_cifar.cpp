@@ -65,6 +65,7 @@ int main_impl(int argc, char** argv) {
              'a');
   run_device(opts, setup, *baseline, team2, team4, sim::jetson_tx2_gpu(),
              'b');
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -41,6 +41,14 @@ int main_impl(int argc, char** argv) {
   print_series(team2.telemetry, 2);
   print_series(team4.telemetry, 4);
 
+  // Full per-iteration series: into --json directly, and into the metrics
+  // registry so a --metrics snapshot carries the same curves.
+  JsonReport report(opts, "fig8_convergence_cifar");
+  report.add_convergence("TeamNet x2", team2.telemetry);
+  report.add_convergence("TeamNet x4", team4.telemetry);
+  team2.telemetry.export_to_metrics("fig8.k2");
+  team4.telemetry.export_to_metrics("fig8.k4");
+
   const int c2 = team2.telemetry.iterations_to_converge(0.15f, 5);
   const int c4 = team4.telemetry.iterations_to_converge(0.15f, 5);
   std::printf("\nconvergence iteration (|gamma - 1/K| < 0.15 for 5 iters): "
@@ -52,6 +60,8 @@ int main_impl(int argc, char** argv) {
   std::printf("shape check (paper: K=4 converges later, ~32k iters at full "
               "scale; near-ties expected at 25x reduced scale): %s\n",
               (c2 >= 0 && (c4 < 0 || c4 + 10 >= c2)) ? "OK" : "MISMATCH");
+  report.write();
+  write_observability_outputs(opts);
   return 0;
 }
 

@@ -84,6 +84,7 @@ int main_impl(int argc, char** argv) {
 
   print_specialization(setup, team2, 2);
   print_specialization(setup, team4, 4);
+  write_observability_outputs(opts);
   return 0;
 }
 

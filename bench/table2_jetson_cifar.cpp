@@ -96,6 +96,7 @@ int main_impl(int argc, char** argv) {
   run_device(opts, report, setup, *baseline, team2, team4, *moe2, *moe4,
              sim::jetson_tx2_gpu(), "b: Jetson TX2 GPU and CPU", paper_gpu);
   report.write();
+  write_observability_outputs(opts);
   return 0;
 }
 

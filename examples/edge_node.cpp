@@ -15,6 +15,11 @@
 // The demo subcommand runs all three roles in one process:
 //
 //   ./edge_node demo
+//
+// Every subcommand accepts --trace PATH (Chrome trace-event JSON of the
+// run, wall-clock timestamps) and --metrics PATH (protocol counter
+// snapshot); see DESIGN.md §10.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +34,8 @@
 #include "net/tcp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace teamnet;
 
@@ -36,6 +43,19 @@ namespace {
 
 constexpr int kDepth = 4;
 constexpr int kHidden = 64;
+
+/// Wall-clock TimeSource for real-TCP runs: seconds since process start on
+/// the steady clock (the time-source rule — never mix wall and virtual
+/// time in one trace).
+obs::TimeSource steady_seconds() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  const auto epoch = t0;  // one shared epoch; copy avoids capturing a static
+  return [epoch] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  };
+}
 
 nn::MlpConfig expert_config() {
   nn::MlpConfig cfg;
@@ -159,6 +179,9 @@ int cmd_demo() {
   net::TcpListener listener(0);
   const std::uint16_t port = listener.port();
   std::thread worker([&listener, dir] {
+    // Same steady-clock epoch as the master track, so the demo trace shows
+    // both roles on one consistent timeline.
+    obs::TraceTrack track(1, steady_seconds(), "worker");
     Rng rng(1);
     nn::MlpNet expert(expert_config(), rng);
     nn::load_module(dir + "/expert1.tnet", expert);
@@ -185,7 +208,11 @@ void usage() {
                "\n"
                "--chaos-seed N (N != 0) wraps every worker link in a seeded\n"
                "fault injector (drop rate P, default 0.05) and enables the\n"
-               "gather deadline + probation machinery.\n");
+               "gather deadline + probation machinery.\n"
+               "\n"
+               "Any subcommand also takes --trace PATH (Chrome trace-event\n"
+               "JSON, open in Perfetto) and --metrics PATH (counter\n"
+               "snapshot).\n");
 }
 
 std::string flag_value(int argc, char** argv, const std::string& flag,
@@ -205,18 +232,28 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    const std::string trace_path = flag_value(argc, argv, "--trace");
+    const std::string metrics_path = flag_value(argc, argv, "--metrics");
+    if (!trace_path.empty()) obs::require_writable_parent(trace_path, "--trace");
+    if (!metrics_path.empty()) {
+      obs::require_writable_parent(metrics_path, "--metrics");
+    }
+    if (!trace_path.empty()) obs::Tracer::instance().start();
+    // The main thread plays one role per subcommand; real TCP means the
+    // wall clock is the track's TimeSource.
+    obs::TraceTrack track(0, steady_seconds(), command);
+    int rc = 2;
+    bool handled = true;
     if (command == "train") {
       const std::string out = flag_value(argc, argv, "--out", ".");
       std::filesystem::create_directories(out);
-      return cmd_train(std::stoi(flag_value(argc, argv, "--experts", "2")), out);
-    }
-    if (command == "worker") {
-      return cmd_worker(
+      rc = cmd_train(std::stoi(flag_value(argc, argv, "--experts", "2")), out);
+    } else if (command == "worker") {
+      rc = cmd_worker(
           static_cast<std::uint16_t>(
               std::stoi(flag_value(argc, argv, "--listen", "0"))),
           flag_value(argc, argv, "--weights"));
-    }
-    if (command == "master") {
+    } else if (command == "master") {
       std::vector<std::string> workers;
       std::string list = flag_value(argc, argv, "--workers");
       std::size_t pos = 0;
@@ -227,12 +264,26 @@ int main(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
       TEAMNET_CHECK_MSG(!workers.empty(), "--workers required");
-      return cmd_master(
+      rc = cmd_master(
           workers, flag_value(argc, argv, "--weights"),
           std::stoull(flag_value(argc, argv, "--chaos-seed", "0")),
           std::stod(flag_value(argc, argv, "--chaos-drop", "0.05")));
+    } else if (command == "demo") {
+      rc = cmd_demo();
+    } else {
+      handled = false;
     }
-    if (command == "demo") return cmd_demo();
+    if (handled) {
+      if (!trace_path.empty()) {
+        obs::Tracer::instance().write(trace_path);
+        std::printf("wrote trace to %s\n", trace_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        obs::write_metrics_json(metrics_path);
+        std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+      }
+      return rc;
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

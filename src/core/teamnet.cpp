@@ -4,6 +4,8 @@
 
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "nn/loss.hpp"
 #include "tensor/ops.hpp"
 
@@ -118,6 +120,14 @@ TeamNetEnsemble TeamNetTrainer::train(const data::Dataset& train_data) {
                                config_.gate, rng.fork(1));
   ExpertTrainer expert_trainer(expert_ptrs, config_.sgd);
 
+  // Registry handles resolved once, outside the batch loop.
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Counter& gate_iterations = registry.counter("gate.iterations_total");
+  obs::Counter& gate_batches = registry.counter("gate.batches_total");
+  obs::Histogram& gate_iteration_hist = registry.histogram(
+      "gate.iterations_per_batch", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  obs::Gauge& gate_objective = registry.gauge("gate.last_objective");
+
   Rng shuffle_rng = rng.fork(2);
   data::BatchIterator batches(train_data, config_.batch_size, &shuffle_rng);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -129,10 +139,18 @@ TeamNetEnsemble TeamNetTrainer::train(const data::Dataset& train_data) {
          batch = batches.next()) {
       // Algorithm 1 lines 6-8.
       Tensor h = entropy_matrix(expert_ptrs, batch.x);
-      GateDecision decision = gate->decide(h);
+      GateDecision decision;
+      {
+        obs::TraceSpan span("gate_decide");
+        decision = gate->decide(h);
+      }
       expert_trainer.train_on_batch(batch.x, batch.y, decision.assignment);
       telemetry_.record(decision.gamma_bar, decision.objective,
                         decision.iterations);
+      gate_iterations.add(decision.iterations);
+      gate_batches.increment();
+      gate_iteration_hist.observe(static_cast<double>(decision.iterations));
+      gate_objective.set(static_cast<double>(decision.objective));
     }
     LOG_INFO("teamnet epoch " << epoch + 1 << "/" << config_.epochs
                               << " done, iterations=" << telemetry_.iterations());

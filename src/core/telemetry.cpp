@@ -1,6 +1,29 @@
 #include "core/telemetry.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace teamnet::core {
+
+void ConvergenceTelemetry::export_to_metrics(const std::string& prefix) const {
+  // Snapshot first; registry Series mutexes and `mutex_` are both leaves,
+  // so never hold one while taking the other. Call once per training run —
+  // registry series are append-only.
+  const Series snap = series();
+  auto& registry = obs::MetricsRegistry::instance();
+  const std::size_t experts =
+      snap.gamma_bar.empty() ? 0 : snap.gamma_bar.front().size();
+  for (std::size_t i = 0; i < experts; ++i) {
+    obs::Series& out =
+        registry.series(prefix + ".gamma_bar.expert" + std::to_string(i));
+    for (const auto& step : snap.gamma_bar) {
+      out.append(i < step.size() ? static_cast<double>(step[i]) : 0.0);
+    }
+  }
+  obs::Series& objective = registry.series(prefix + ".objective");
+  for (float v : snap.objective) objective.append(static_cast<double>(v));
+  obs::Series& iters = registry.series(prefix + ".gate_iters");
+  for (int v : snap.gate_iters) iters.append(static_cast<double>(v));
+}
 
 std::vector<float> ConvergenceTelemetry::smoothed_gamma(
     std::size_t t, std::size_t window) const {

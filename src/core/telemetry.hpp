@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/annotations.hpp"
@@ -107,6 +108,25 @@ class ConvergenceTelemetry {
   /// Mean gamma_bar over the last `window` iterations (smoothed view used
   /// when printing the convergence figures).
   std::vector<float> smoothed_gamma(std::size_t t, std::size_t window) const;
+
+  /// One coherent copy of the full per-iteration record — the Fig. 3/6/8
+  /// series — taken under a single lock so concurrent record() calls can
+  /// never tear the three histories out of step.
+  struct Series {
+    std::vector<std::vector<float>> gamma_bar;  ///< [iteration][expert]
+    std::vector<float> objective;
+    std::vector<int> gate_iters;
+  };
+  Series series() const {
+    MutexLock lock(mutex_);
+    return Series{gamma_bar_history_, objective_history_, gate_iterations_};
+  }
+
+  /// Publishes the full series into the process metrics registry under
+  /// `<prefix>.gamma_bar.expert<i>`, `<prefix>.objective`, and
+  /// `<prefix>.gate_iters`, so `--metrics` snapshots carry the convergence
+  /// curves without re-running training.
+  void export_to_metrics(const std::string& prefix) const;
 
  private:
   float max_deviation_locked(std::size_t t) const TN_REQUIRES(mutex_) {

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace teamnet::moe {
@@ -24,13 +26,22 @@ void MoeMaster::set_time_source(net::TimeSource now) {
 MoeMaster::Result MoeMaster::infer(const Tensor& x) {
   const std::int64_t n = x.dim(0);
   const std::int64_t qid = ++query_seq_;
+  obs::MetricsRegistry::instance().counter("moe.queries_total").increment();
+  obs::TraceSpan query_span("query", [&] {
+    return obs::TraceArgs().arg("qid", qid).arg("batch", n);
+  });
 
   // Gate evaluation on the master (tiny linear layer).
-  if (on_compute_) {
-    on_compute_(2 * x.numel() / n * model_.num_experts() * n);
-  }
   Result result;
-  result.routed = model_.route(x);
+  {
+    obs::TraceSpan span("route", [&] {
+      return obs::TraceArgs().arg("qid", qid);
+    });
+    if (on_compute_) {
+      on_compute_(2 * x.numel() / n * model_.num_experts() * n);
+    }
+    result.routed = model_.route(x);
+  }
 
   // Group rows per expert; remote groups cost one round trip each.
   std::vector<std::vector<int>> groups(
@@ -53,18 +64,27 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
 
   // Dispatch remote requests first so the remote nodes compute while the
   // master handles its local group.
-  for (int i = 1; i < model_.num_experts(); ++i) {
-    const auto& rows = groups[static_cast<std::size_t>(i)];
-    if (rows.empty()) continue;
-    net::Message request;
-    request.type = net::MsgType::Infer;
-    request.ints = {qid};
-    request.tensors = {ops::take_rows(x, rows)};
-    workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
+  {
+    obs::TraceSpan span("dispatch", [&] {
+      return obs::TraceArgs().arg("qid", qid);
+    });
+    for (int i = 1; i < model_.num_experts(); ++i) {
+      const auto& rows = groups[static_cast<std::size_t>(i)];
+      if (rows.empty()) continue;
+      net::Message request;
+      request.type = net::MsgType::Infer;
+      request.ints = {qid};
+      request.tensors = {ops::take_rows(x, rows)};
+      workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
+    }
   }
 
   // Local expert 0.
   if (!groups[0].empty()) {
+    obs::TraceSpan span("expert_forward", [&] {
+      return obs::TraceArgs().arg("qid", qid).arg(
+          "rows", static_cast<std::int64_t>(groups[0].size()));
+    });
     Tensor xi = ops::take_rows(x, groups[0]);
     if (on_compute_) {
       Shape sample_shape(xi.shape().begin() + 1, xi.shape().end());
@@ -77,6 +97,9 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
   // query ids left over from a previous timed-out query) are discarded.
   // Unlike TeamNet's broadcast there is no degraded mode here — the routed
   // expert's answer IS the answer — so a missed deadline throws.
+  obs::TraceSpan gather_span("gather", [&] {
+    return obs::TraceArgs().arg("qid", qid);
+  });
   net::GatherDeadline deadline(worker_timeout_s_, now_);
   for (int i = 1; i < model_.num_experts(); ++i) {
     const auto& rows = groups[static_cast<std::size_t>(i)];
@@ -92,6 +115,12 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
       TEAMNET_CHECK(reply.type == net::MsgType::Result &&
                     reply.tensors.size() == 2);
       if (reply.ints.empty() || reply.ints[0] != qid) {
+        obs::MetricsRegistry::instance()
+            .counter("moe.stale_replies_total")
+            .increment();
+        obs::trace_instant("stale_reply_discarded", [&] {
+          return obs::TraceArgs().arg("expert", i).arg("qid", qid);
+        });
         LOG_WARN("expert " << i << " sent a stale reply; discarded");
         continue;
       }

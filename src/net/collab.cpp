@@ -6,11 +6,19 @@
 
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace teamnet::net {
 
 namespace {
+
+/// Registry bump for rare protocol events (failures, rejoins, stales) —
+/// these are off the per-sample hot path, so the name lookup is fine.
+void bump(const char* name) {
+  obs::MetricsRegistry::instance().counter(name).increment();
+}
 
 std::int64_t batch_flops(nn::Module& model, const Tensor& x) {
   Shape sample_shape(x.shape().begin() + 1, x.shape().end());
@@ -86,6 +94,10 @@ void CollaborativeWorker::serve() {
     }
     const Tensor& x = request.tensors[0];
     try {
+      obs::TraceSpan span("expert_forward", [&] {
+        return obs::TraceArgs().arg(
+            "qid", request.ints.empty() ? std::int64_t{-1} : request.ints[0]);
+      });
       if (on_compute_) on_compute_(batch_flops(expert_, x));
       auto [probs, entropy] = evaluate(expert_, x);
       Message reply;
@@ -146,6 +158,10 @@ void CollaborativeMaster::mark_failed(std::size_t w) {
   slot.probe_id = 0;
   slot.probe_interval = probe_interval_;
   slot.probe_countdown = probe_interval_;
+  bump("collab.worker_failures_total");
+  obs::trace_instant("worker_failed", [&] {
+    return obs::TraceArgs().arg("worker", static_cast<std::int64_t>(w) + 1);
+  });
 }
 
 void CollaborativeMaster::probe_failed_workers() {
@@ -165,6 +181,7 @@ void CollaborativeMaster::probe_failed_workers() {
           msg = Message::decode(*raw);
         } catch (const SerializationError&) {
           ++stale_discarded_;
+          bump("collab.stale_replies_total");
           continue;
         }
         if (msg.type == MsgType::Pong && !msg.ints.empty() &&
@@ -172,11 +189,17 @@ void CollaborativeMaster::probe_failed_workers() {
           slot.failed = false;
           slot.probe_id = 0;
           ++rejoins_;
+          bump("collab.rejoins_total");
+          obs::trace_instant("worker_rejoin", [&] {
+            return obs::TraceArgs().arg("worker",
+                                        static_cast<std::int64_t>(w) + 1);
+          });
           LOG_INFO("worker " << w + 1
                              << " answered probe; rejoining the live set");
           break;
         }
         ++stale_discarded_;
+        bump("collab.stale_replies_total");
       }
       if (!slot.failed) continue;
       if (--slot.probe_countdown > 0) continue;
@@ -185,6 +208,11 @@ void CollaborativeMaster::probe_failed_workers() {
       ping.ints = {++probe_seq_};
       workers_[w]->send(ping.encode());
       slot.probe_id = probe_seq_;
+      obs::trace_instant("probe", [&] {
+        return obs::TraceArgs()
+            .arg("worker", static_cast<std::int64_t>(w) + 1)
+            .arg("probe_id", probe_seq_);
+      });
       // Exponential backoff on the probe cadence: each unanswered probe
       // doubles the wait before the next one, up to kMaxProbeInterval.
       slot.probe_interval =
@@ -200,34 +228,52 @@ void CollaborativeMaster::probe_failed_workers() {
 CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   TEAMNET_CHECK(x.rank() >= 2);
   const std::int64_t n = x.dim(0);
+  const std::int64_t qid = ++query_seq_;
+  bump("collab.queries_total");
+  obs::TraceSpan query_span("query", [&] {
+    return obs::TraceArgs().arg("qid", qid).arg("batch", n);
+  });
 
   // Probation first, so a recovered worker rejoins in time for this query.
   probe_failed_workers();
 
   // Step 2: broadcast the sensor data to every live worker. Channel errors
   // mark the worker failed rather than aborting the query.
-  const std::int64_t qid = ++query_seq_;
   Message request;
   request.type = MsgType::Infer;
   request.ints = {qid};
   request.tensors = {x};
   const std::string encoded = request.encode();
   std::vector<bool> asked(workers_.size(), false);
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (slots_[w].failed) continue;
-    try {
-      workers_[w]->send(encoded);
-      asked[w] = true;
-    } catch (const Error& e) {
-      LOG_WARN("worker " << w + 1 << " failed on send: " << e.what());
-      mark_failed(w);
+  {
+    obs::TraceSpan span("broadcast", [&] {
+      return obs::TraceArgs().arg("qid", qid).arg("bytes_per_worker",
+                                                  encoded.size());
+    });
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (slots_[w].failed) continue;
+      try {
+        workers_[w]->send(encoded);
+        asked[w] = true;
+      } catch (const Error& e) {
+        LOG_WARN("worker " << w + 1 << " failed on send: " << e.what());
+        mark_failed(w);
+      }
     }
   }
 
   // Step 3 (local share): the master evaluates its own expert while the
   // workers evaluate theirs.
-  if (on_compute_) on_compute_(batch_flops(expert_, x));
-  auto [local_probs, local_entropy] = evaluate(expert_, x);
+  std::pair<Tensor, Tensor> local;
+  {
+    obs::TraceSpan span("expert_forward", [&] {
+      return obs::TraceArgs().arg("qid", qid);
+    });
+    if (on_compute_) on_compute_(batch_flops(expert_, x));
+    local = evaluate(expert_, x);
+  }
+  Tensor local_probs = std::move(local.first);
+  Tensor local_entropy = std::move(local.second);
 
   // Step 4: gather whatever answers arrive before ONE shared deadline;
   // slow or broken workers are marked failed and the selection proceeds
@@ -237,47 +283,69 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   std::vector<Tensor> all_probs = {std::move(local_probs)};
   std::vector<Tensor> all_entropy = {std::move(local_entropy)};
   std::vector<int> node_of = {0};
-  GatherDeadline deadline(worker_timeout_s_, now_);
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!asked[w]) continue;
-    try {
-      for (;;) {
-        auto raw = deadline.recv_from(*workers_[w]);
-        if (!raw) {
-          LOG_WARN("worker " << w + 1 << " missed the " << worker_timeout_s_
-                             << "s gather deadline; marking failed");
-          mark_failed(w);
+  {
+    obs::TraceSpan span("gather", [&] {
+      return obs::TraceArgs().arg("qid", qid);
+    });
+    GatherDeadline deadline(worker_timeout_s_, now_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!asked[w]) continue;
+      try {
+        for (;;) {
+          auto raw = deadline.recv_from(*workers_[w]);
+          if (!raw) {
+            LOG_WARN("worker " << w + 1 << " missed the " << worker_timeout_s_
+                               << "s gather deadline; marking failed");
+            mark_failed(w);
+            break;
+          }
+          Message reply = Message::decode(*raw);
+          if (reply.type == MsgType::Pong) {
+            ++stale_discarded_;  // duplicate probe answer; keep waiting
+            bump("collab.stale_replies_total");
+            obs::trace_instant("stale_reply_discarded", [&] {
+              return obs::TraceArgs()
+                  .arg("worker", static_cast<std::int64_t>(w) + 1)
+                  .arg("kind", "duplicate_pong");
+            });
+            continue;
+          }
+          TEAMNET_CHECK_MSG(
+              reply.type == MsgType::Result && reply.tensors.size() == 2,
+              "worker " << w + 1 << " sent malformed reply type "
+                        << static_cast<int>(reply.type));
+          if (reply.ints.empty() || reply.ints[0] != qid) {
+            ++stale_discarded_;
+            bump("collab.stale_replies_total");
+            obs::trace_instant("stale_reply_discarded", [&] {
+              return obs::TraceArgs()
+                  .arg("worker", static_cast<std::int64_t>(w) + 1)
+                  .arg("stale_qid",
+                       reply.ints.empty() ? std::int64_t{-1} : reply.ints[0])
+                  .arg("qid", qid);
+            });
+            LOG_DEBUG("worker " << w + 1 << " sent stale reply for query "
+                                << (reply.ints.empty() ? -1 : reply.ints[0])
+                                << " during query " << qid << "; discarded");
+            continue;
+          }
+          all_probs.push_back(std::move(reply.tensors[0]));
+          all_entropy.push_back(std::move(reply.tensors[1]));
+          node_of.push_back(static_cast<int>(w) + 1);
           break;
         }
-        Message reply = Message::decode(*raw);
-        if (reply.type == MsgType::Pong) {
-          ++stale_discarded_;  // duplicate probe answer; keep waiting
-          continue;
-        }
-        TEAMNET_CHECK_MSG(
-            reply.type == MsgType::Result && reply.tensors.size() == 2,
-            "worker " << w + 1 << " sent malformed reply type "
-                      << static_cast<int>(reply.type));
-        if (reply.ints.empty() || reply.ints[0] != qid) {
-          ++stale_discarded_;
-          LOG_DEBUG("worker " << w + 1 << " sent stale reply for query "
-                              << (reply.ints.empty() ? -1 : reply.ints[0])
-                              << " during query " << qid << "; discarded");
-          continue;
-        }
-        all_probs.push_back(std::move(reply.tensors[0]));
-        all_entropy.push_back(std::move(reply.tensors[1]));
-        node_of.push_back(static_cast<int>(w) + 1);
-        break;
+      } catch (const Error& e) {
+        LOG_WARN("worker " << w + 1 << " failed on recv: " << e.what());
+        mark_failed(w);
       }
-    } catch (const Error& e) {
-      LOG_WARN("worker " << w + 1 << " failed on recv: " << e.what());
-      mark_failed(w);
     }
   }
 
   // Step 5: per sample, the least-uncertain answering node wins.
   const int answered = static_cast<int>(all_probs.size());
+  obs::TraceSpan argmin_span("argmin", [&] {
+    return obs::TraceArgs().arg("qid", qid).arg("answered", answered);
+  });
   const std::int64_t c = all_probs[0].dim(1);
   Result result;
   result.probs = Tensor({n, c});

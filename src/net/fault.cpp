@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace teamnet::net {
 
@@ -73,6 +75,16 @@ void FaultyChannel::record_locked(const char* dir, std::int64_t seq,
   log_ += what;
   log_ += '\n';
   ++faults_;
+  // Single fault-record point, so this is THE place every injected fault
+  // becomes an instant event. `mutex_` is held; the tracer only takes leaf
+  // locks (and the bound clock's engine lock already nests under `mutex_`
+  // on the normal send path), so ordering stays acyclic.
+  obs::MetricsRegistry::instance()
+      .counter("net.faults_injected_total")
+      .increment();
+  obs::trace_instant("fault", [&] {
+    return obs::TraceArgs().arg("dir", dir).arg("seq", seq).arg("what", what);
+  });
 }
 
 void FaultyChannel::send(std::string bytes) {

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/raw_bytes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace teamnet::net {
 
@@ -108,6 +110,26 @@ class InProcChannel final : public Channel {
   std::shared_ptr<ByteQueue> in_;
 };
 
+/// Registry counters for the simulated wire. Counting happens at the
+/// SimChannel/DesChannel layer — the layers that know (self, peer) — never
+/// in InProcChannel, so wrapped channels are not double-counted.
+struct WireCounters {
+  obs::Counter& bytes_sent;
+  obs::Counter& msgs_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& msgs_received;
+
+  static WireCounters& instance() {
+    static WireCounters& counters = *new WireCounters{
+        obs::MetricsRegistry::instance().counter("net.bytes_sent"),
+        obs::MetricsRegistry::instance().counter("net.msgs_sent"),
+        obs::MetricsRegistry::instance().counter("net.bytes_received"),
+        obs::MetricsRegistry::instance().counter("net.msgs_received"),
+    };
+    return counters;
+  }
+};
+
 class SimChannel final : public Channel {
  public:
   SimChannel(ChannelPtr inner, VirtualClock& clock, int self, int peer,
@@ -116,9 +138,14 @@ class SimChannel final : public Channel {
         clock_(clock),
         self_(self),
         peer_(peer),
-        link_(link) {}
+        link_(link),
+        tx_label_("tx_bytes " + std::to_string(self) + "->" +
+                  std::to_string(peer)),
+        rx_label_("rx_bytes " + std::to_string(peer) + "->" +
+                  std::to_string(self)) {}
 
   void send(std::string bytes) override {
+    const std::size_t payload = bytes.size();
     // Prefix the sender's virtual timestamp so the receiving endpoint can
     // model the link delay relative to when the message actually left.
     const double now = clock_.node_time(self_);
@@ -127,6 +154,16 @@ class SimChannel final : public Channel {
     write_raw(stamped, now);
     stamped += bytes;
     inner_->send(std::move(stamped));
+    WireCounters::instance().bytes_sent.add(
+        static_cast<std::int64_t>(payload));
+    WireCounters::instance().msgs_sent.increment();
+    if (obs::Tracer::active()) {
+      const auto total = tx_bytes_.fetch_add(
+                             static_cast<std::int64_t>(payload),
+                             std::memory_order_relaxed) +
+                         static_cast<std::int64_t>(payload);
+      obs::trace_counter(tx_label_.c_str(), static_cast<double>(total));
+    }
   }
 
   std::string recv() override {
@@ -157,6 +194,14 @@ class SimChannel final : public Channel {
     const auto payload_bytes =
         static_cast<std::int64_t>(stamped.size() - sizeof(double));
     clock_.deliver(self_, send_time, payload_bytes, link_);
+    WireCounters::instance().bytes_received.add(payload_bytes);
+    WireCounters::instance().msgs_received.increment();
+    if (obs::Tracer::active()) {
+      const auto total =
+          rx_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed) +
+          payload_bytes;
+      obs::trace_counter(rx_label_.c_str(), static_cast<double>(total));
+    }
     return stamped.substr(sizeof(double));
   }
 
@@ -165,6 +210,10 @@ class SimChannel final : public Channel {
   int self_;
   int peer_;
   LinkProfile link_;
+  const std::string tx_label_;
+  const std::string rx_label_;
+  std::atomic<std::int64_t> tx_bytes_{0};
+  std::atomic<std::int64_t> rx_bytes_{0};
 };
 
 }  // namespace

@@ -1,0 +1,52 @@
+// Minimal byte-stable JSON emission helpers shared by the obs sinks.
+//
+// Doubles use %.17g — enough digits to round-trip any IEEE double — so a
+// deterministic (same-seed discrete_event) run serializes to a
+// byte-identical file. Same convention as `bench --json`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace teamnet::obs {
+
+inline std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace teamnet::obs

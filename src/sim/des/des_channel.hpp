@@ -13,7 +13,10 @@
 // scenario wraps mesh legs without caring which scheduler built them.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -37,11 +40,17 @@ class DesChannel final : public net::Channel {
   void close() override;
 
  private:
+  void note_received(std::size_t payload);
+
   Engine& engine_;
   const int self_;
   std::shared_ptr<Mailbox> in_;
   std::shared_ptr<Mailbox> out_;
   const net::LinkProfile link_;
+  const std::string tx_label_;
+  const std::string rx_label_;
+  std::atomic<std::int64_t> tx_bytes_{0};
+  std::atomic<std::int64_t> rx_bytes_{0};
 };
 
 /// Connected DES channel pair between nodes `a` and `b`.

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace teamnet::sim::des {
 
 namespace {
@@ -185,6 +187,14 @@ void Engine::check_quiescence_locked() {
   }
   deadlocked_ = true;
   deadlock_msg_ = msg.str();
+  if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
+    for (int n = 0; n < num_nodes_; ++n) {
+      const NodeSlot& slot = nodes_[static_cast<std::size_t>(n)];
+      if (slot.state != NodeState::kBlocked) continue;
+      obs::Tracer::instance().instant_at(n, slot.time, "des.deadlock",
+                                         obs::TraceArgs());
+    }
+  }
   cv_.notify_all();
 }
 
@@ -230,6 +240,10 @@ void Engine::retire(int node) {
   slot.state = NodeState::kRetired;
   slot.waiting = nullptr;
   slot.has_timeout = false;
+  if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
+    obs::Tracer::instance().instant_at(node, slot.time, "des.retire",
+                                       obs::TraceArgs());
+  }
   pump_locked();
   check_quiescence_locked();
   cv_.notify_all();
@@ -263,6 +277,16 @@ void Engine::send(int from, const std::shared_ptr<Mailbox>& to,
   medium_free_ = start + airtime;
   const double arrival = start + airtime + link.latency_s;
   to->pending_events_ += 1;
+  if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
+    // Under `mutex_` — must use the explicit-timestamp API; a bound
+    // TimeSource would call node_time() and self-deadlock on `mutex_`.
+    obs::Tracer::instance().instant_at(
+        from, send_time, "des.schedule",
+        obs::TraceArgs()
+            .arg("dest", to->owner())
+            .arg("arrival", arrival)
+            .arg("bytes", static_cast<std::int64_t>(bytes.size())));
+  }
   events_.push(Event{EventKey{arrival, to->owner(), next_seq_++}, to,
                      std::move(bytes)});
   pump_locked();
@@ -320,6 +344,11 @@ std::optional<std::string> Engine::recv_timeout(int node, Mailbox& mb,
       if (budget > 0.0) {
         slot.time += budget;
         pump_locked();
+      }
+      if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
+        obs::Tracer::instance().instant_at(
+            node, slot.time, "des.timeout_fired",
+            obs::TraceArgs().arg("budget_s", budget));
       }
       cv_.notify_all();
       return std::nullopt;

@@ -7,6 +7,7 @@
 #include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
+#include "obs/trace.hpp"
 #include "moe/moe_serving.hpp"
 #include "mpi/partitioned.hpp"
 #include "net/collab.hpp"
@@ -25,6 +26,12 @@ namespace {
 template <typename Fn>
 std::thread spawn_worker(SimNet& net, int node, Fn fn) {
   return std::thread([&net, node, fn = std::move(fn)] {
+    // Trace time-source rule: inside the simulator every thread stamps
+    // events with its node's virtual time, so traces are in virtual time
+    // end to end (and byte-stable under discrete_event).
+    obs::TraceTrack track(
+        node, [&net, node] { return net.node_time(node); },
+        "node" + std::to_string(node));
     try {
       fn();
     } catch (const Error& e) {
@@ -103,6 +110,9 @@ ScenarioResult run_teamnet_heterogeneous(
     const ScenarioConfig& config) {
   TEAMNET_CHECK(experts.size() >= 2 && devices.size() == experts.size());
   const int k = static_cast<int>(experts.size());
+  // Before any worker spawns: each scenario run gets its own track epoch so
+  // its restarted virtual clock never rewinds a previous run's trace rows.
+  obs::Tracer::instance().begin_epoch("teamnet");
   auto net = make_sim_net(config.scheduler, k, config.link);
 
   std::atomic<double> master_compute{0.0};
@@ -125,6 +135,8 @@ ScenarioResult run_teamnet_heterogeneous(
   net::CollaborativeMaster master(*experts[0], worker_channels);
   master.set_compute_hook(make_hook(*net, 0, devices[0], &master_compute));
 
+  SimNet* netp = net.get();
+  obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   double total_latency = 0.0;
   std::size_t correct = 0;
@@ -201,6 +213,7 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
       chaos.partition_worker < static_cast<int>(experts.size()) - 1,
       "partition_worker must name a worker (0-based, < num_workers)");
   const int k = static_cast<int>(experts.size());
+  obs::Tracer::instance().begin_epoch("teamnet-chaos");
   auto net = make_sim_net(config.scheduler, k, config.link);
   SimNet* netp = net.get();
 
@@ -246,6 +259,7 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
   master.set_probe_interval(chaos.probe_interval);
   master.set_time_source([netp] { return netp->node_time(0); });
 
+  obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   ChaosResult result;
   double total_latency = 0.0;
@@ -345,6 +359,7 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
                                nn::Module& model_for_metrics,
                                MakeRunner make_runner) {
   model_for_metrics.set_training(false);  // before any rank thread starts
+  obs::Tracer::instance().begin_epoch(approach);
   auto net = make_sim_net(config.scheduler, num_nodes, config.link);
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
@@ -382,6 +397,9 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
   Mutex error_mutex;
   std::exception_ptr first_error;
   auto rank_guarded = [&](int rank) {
+    obs::TraceTrack track(
+        rank, [&net, rank] { return net->node_time(rank); },
+        "rank" + std::to_string(rank));
     try {
       rank_main(rank);
     } catch (...) {
@@ -469,6 +487,7 @@ ScenarioResult run_mpi_branch(nn::ShakeShakeNet& model,
 ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
                           const ScenarioConfig& config) {
   const int k = model.num_experts();
+  obs::Tracer::instance().begin_epoch("sg-moe");
   auto net = make_sim_net(config.scheduler, k, config.link);
 
   std::atomic<double> master_compute{0.0};
@@ -490,6 +509,8 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
   moe::MoeMaster master(model, worker_channels);
   master.set_compute_hook(make_hook(*net, 0, config.device, &master_compute));
 
+  SimNet* netp = net.get();
+  obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   double total_latency = 0.0;
   const std::int64_t bytes_before = net->bytes_delivered();

@@ -18,6 +18,8 @@
 #include "mpi/communicator.hpp"
 #include "net/transport.hpp"
 #include "net/virtual_clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/des/des_channel.hpp"
 #include "sim/des/engine.hpp"
 
@@ -273,6 +275,104 @@ TEST(ChannelRace, CloseDrainsQueuedMessagesFirst) {
   EXPECT_EQ(b->recv(), "one");
   EXPECT_EQ(b->recv(), "two");
   EXPECT_THROW((void)b->recv(), NetworkError);
+}
+
+TEST(MetricsRace, ConcurrentUpdatesAndSnapshotsStayCoherent) {
+  // Hammer one counter/gauge/histogram/series from writer threads while a
+  // reader thread snapshots the whole registry: TSan sees the sharded
+  // counter cells, the histogram's atomics, and the registry map all at
+  // once. Metric names are unique to this test so the exact totals are
+  // checkable at the end.
+  auto& registry = obs::MetricsRegistry::instance();
+  obs::Counter& counter = registry.counter("race_test.counter");
+  obs::Gauge& gauge = registry.gauge("race_test.gauge");
+  obs::Histogram& hist =
+      registry.histogram("race_test.hist", {1.0, 10.0, 100.0});
+  obs::Series& series = registry.series("race_test.series");
+
+  constexpr int kWriters = 6;
+  constexpr int kOpsPerWriter = 5'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    std::int64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.snapshot();
+      const std::int64_t seen = snap.counters.at("race_test.counter");
+      // Monotone counter: snapshots may lag but can never go backwards.
+      EXPECT_GE(seen, last);
+      last = seen;
+      const auto& h = snap.histograms.at("race_test.hist");
+      std::int64_t bucket_total = 0;
+      for (std::int64_t b : h.bucket_counts) bucket_total += b;
+      // Bucket increments and the count increment are separate relaxed
+      // atomics, so they may be observed slightly out of step — but both
+      // are bounded by the true number of observe() calls.
+      EXPECT_LE(bucket_total, kWriters * kOpsPerWriter);
+      EXPECT_LE(h.count, kWriters * kOpsPerWriter);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter.increment();
+        gauge.set(static_cast<double>(i));
+        hist.observe(static_cast<double>((w * kOpsPerWriter + i) % 200));
+        if (i % 100 == 0) series.append(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(counter.total(), kWriters * kOpsPerWriter);
+  EXPECT_EQ(hist.count(), kWriters * kOpsPerWriter);
+  EXPECT_EQ(series.size(),
+            static_cast<std::size_t>(kWriters * (kOpsPerWriter / 100)));
+}
+
+TEST(TracerRace, ConcurrentSpansOnDistinctTracksAllRecorded) {
+  // Each thread binds its own track and emits spans while another thread
+  // serializes mid-flight: exercises the registry mutex + leaf track
+  // mutexes under contention.
+  auto& tracer = obs::Tracer::instance();
+  tracer.reset_for_testing();
+  tracer.start();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread serializer([&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.to_json();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      double now = 0.0;
+      obs::TraceTrack track(t, [&now] { return now; },
+                            "race" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        now = static_cast<double>(i);
+        obs::TraceSpan span("work");
+        obs::trace_instant("tick");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  serializer.join();
+
+  const std::string json = tracer.to_json();
+  std::size_t begins = 0;
+  for (std::size_t pos = json.find("\"ph\": \"B\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"B\"", pos + 1)) {
+    ++begins;
+  }
+  EXPECT_EQ(begins, static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(tracer.dropped_events(), 0);
+  tracer.reset_for_testing();
 }
 
 }  // namespace

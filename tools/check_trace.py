@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Validator for TeamNet --trace output (Chrome trace-event JSON).
+
+Checks the structural invariants DESIGN.md §10 promises for every trace the
+tracer writes, so CI can gate on them after a real bench run:
+
+  * the file is valid JSON: one object with a "traceEvents" list;
+  * every event has "ph", integer "pid"/"tid", and (except metadata 'M'
+    events) a finite numeric "ts";
+  * per (pid, tid) track, timestamps are non-decreasing in event order —
+    each track is stamped by one monotone clock (a node's virtual time
+    under the simulator, the steady clock on real TCP);
+  * duration events are balanced: on each track, every 'E' closes an
+    earlier 'B' and no 'B' is left open at end of trace;
+  * instant ('i') events carry a scope ("s").
+
+Usage:
+  tools/check_trace.py TRACE.json [TRACE2.json ...]
+  tools/check_trace.py --self-test    prove each check fires on a seeded
+                                      bad document and accepts a good one
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def validate(doc: object, label: str = "trace") -> list[str]:
+    """Returns a list of human-readable violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [f"{label}: top level must be an object with a "
+                f"\"traceEvents\" list"]
+
+    last_ts: dict[tuple[int, int], float] = {}
+    open_spans: dict[tuple[int, int], int] = {}
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"{label}: event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            errors.append(f"{where}: missing/malformed \"ph\"")
+            continue
+        pid = event.get("pid")
+        tid = event.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where}: \"pid\"/\"tid\" must be integers")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        track = (pid, tid)
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or not math.isfinite(ts):
+            errors.append(f"{where}: missing/non-finite \"ts\"")
+            continue
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"{where}: timestamp {ts} goes backwards on track "
+                f"pid={pid} tid={tid} (previous {last_ts[track]}) — each "
+                f"track must be stamped by one monotone clock")
+        last_ts[track] = ts
+
+        if ph == "B":
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif ph == "E":
+            depth = open_spans.get(track, 0)
+            if depth == 0:
+                errors.append(
+                    f"{where}: 'E' with no open 'B' on track pid={pid} "
+                    f"tid={tid}")
+            else:
+                open_spans[track] = depth - 1
+        elif ph == "i":
+            if "s" not in event:
+                errors.append(f"{where}: instant event missing scope \"s\"")
+
+    for (pid, tid), depth in sorted(open_spans.items()):
+        if depth > 0:
+            errors.append(
+                f"{label}: {depth} unclosed 'B' event(s) on track "
+                f"pid={pid} tid={tid} at end of trace")
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return [f"{path}: cannot read: {e}"]
+    except json.JSONDecodeError as e:
+        return [f"{path}: invalid JSON: {e}"]
+    return validate(doc, path)
+
+
+def self_test() -> int:
+    """Each invariant must fire on a seeded violation and accept the fix."""
+    good = {"traceEvents": [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "teamnet"}},
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": 1,
+         "args": {"name": "node1"}},
+        {"ph": "B", "pid": 0, "tid": 0, "ts": 0, "name": "query"},
+        {"ph": "B", "pid": 0, "tid": 0, "ts": 10.5, "name": "broadcast"},
+        {"ph": "i", "pid": 0, "tid": 0, "ts": 11, "name": "fault", "s": "t"},
+        {"ph": "E", "pid": 0, "tid": 0, "ts": 20},
+        {"ph": "C", "pid": 0, "tid": 1, "ts": 5, "name": "tx_bytes",
+         "args": {"value": 128}},
+        {"ph": "E", "pid": 0, "tid": 0, "ts": 30},
+    ]}
+    cases = [
+        ("valid document", good, 0),
+        ("top level not an object", [1, 2], 1),
+        ("traceEvents missing", {"events": []}, 1),
+        ("event missing ph",
+         {"traceEvents": [{"pid": 0, "tid": 0, "ts": 0}]}, 1),
+        ("non-integer tid",
+         {"traceEvents": [{"ph": "i", "pid": 0, "tid": "zero", "ts": 0,
+                           "s": "t"}]}, 1),
+        ("missing ts",
+         {"traceEvents": [{"ph": "i", "pid": 0, "tid": 0, "s": "t"}]}, 1),
+        ("non-finite ts",
+         {"traceEvents": [{"ph": "i", "pid": 0, "tid": 0, "ts": None,
+                           "s": "t"}]}, 1),
+        ("backwards timestamp on one track",
+         {"traceEvents": [
+             {"ph": "B", "pid": 0, "tid": 0, "ts": 10, "name": "a"},
+             {"ph": "E", "pid": 0, "tid": 0, "ts": 5}]}, 1),
+        ("interleaved tracks each monotone",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 10, "s": "t"},
+             {"ph": "i", "pid": 0, "tid": 1, "ts": 1, "s": "t"},
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 11, "s": "t"}]}, 0),
+        ("E without B",
+         {"traceEvents": [{"ph": "E", "pid": 0, "tid": 0, "ts": 1}]}, 1),
+        ("unclosed B",
+         {"traceEvents": [
+             {"ph": "B", "pid": 0, "tid": 0, "ts": 1, "name": "a"}]}, 1),
+        ("E on the wrong track",
+         {"traceEvents": [
+             {"ph": "B", "pid": 0, "tid": 0, "ts": 1, "name": "a"},
+             {"ph": "E", "pid": 0, "tid": 1, "ts": 2}]}, 2),
+        ("instant without scope",
+         {"traceEvents": [{"ph": "i", "pid": 0, "tid": 0, "ts": 1,
+                           "name": "x"}]}, 1),
+        ("metadata events need no ts", {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0}]}, 0),
+    ]
+    failures = 0
+    for name, doc, want_errors in cases:
+        errors = validate(doc, "seeded")
+        ok = (len(errors) == want_errors)
+        if not ok:
+            failures += 1
+        print(f"{'ok  ' if ok else 'FAIL'} [{name}] -> {len(errors)} "
+              f"error(s), expected {want_errors}")
+        if not ok:
+            for e in errors:
+                print(f"      {e}")
+    if failures:
+        print(f"self-test: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="trace files to validate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each check catches a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("no trace files given (or use --self-test)")
+
+    failures = 0
+    for path in args.files:
+        errors = check_file(path)
+        for e in errors:
+            print(e)
+        if errors:
+            failures += 1
+        else:
+            print(f"{path}: OK")
+    if failures:
+        print(f"tools/check_trace.py: {failures} file(s) failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,15 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  bounded. Channel implementations themselves (transport.*,
                  fault.*, tcp.*) are exempt — they ARE recv.
 
+  no-raw-stdio   printf/fprintf/puts/std::cout/std::cerr are forbidden in
+                 src/** outside the sanctioned sinks (common/logging.*,
+                 common/table.*): ad-hoc stdout writes bypass the
+                 severity-filtered logger, interleave badly across threads,
+                 and pollute machine-readable bench output. Use LOG_* for
+                 diagnostics and the obs trace/metrics writers for data.
+                 (String formatting via snprintf is fine — the rule is
+                 about writing to the process streams.)
+
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 
 Usage:
@@ -68,14 +77,16 @@ SRC = REPO / "src"
 # include headers from itself and from any module listed here.
 MODULE_DEPS = {
     "common": set(),
+    "obs": {"common"},
     "tensor": {"common"},
     "nn": {"tensor", "common"},
     "data": {"tensor", "common"},
-    "core": {"nn", "data", "tensor", "common"},
-    "net": {"core", "nn", "tensor", "common"},
-    "moe": {"net", "nn", "data", "tensor", "common"},
+    "core": {"obs", "nn", "data", "tensor", "common"},
+    "net": {"obs", "core", "nn", "tensor", "common"},
+    "moe": {"obs", "net", "nn", "data", "tensor", "common"},
     "mpi": {"net", "core", "nn", "tensor", "common"},
-    "sim": {"mpi", "moe", "net", "core", "nn", "data", "tensor", "common"},
+    "sim": {"obs", "mpi", "moe", "net", "core", "nn", "data", "tensor",
+            "common"},
 }
 
 RAW_CAST_RE = re.compile(
@@ -103,6 +114,13 @@ WALL_CLOCK_ALLOWED: set[pathlib.Path] = set()
 NAKED_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(")
 NAKED_RECV_MODULES = {"net", "moe"}
 NAKED_RECV_EXEMPT_STEMS = {"transport", "fault", "tcp"}
+
+# Stream-writing stdio only; snprintf/sscanf (string formatting) are fine.
+RAW_STDIO_RE = re.compile(
+    r"\b(?:std::)?(?:printf|fprintf|vfprintf|puts|fputs|putchar|fputc)\s*\(|"
+    r"std::(?:cout|cerr|clog)\b"
+)
+RAW_STDIO_ALLOWED_STEMS = {"logging", "table"}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 ERRNO_RE = re.compile(r"\berrno\b")
@@ -276,8 +294,27 @@ def check_naked_recv(path: pathlib.Path, code: list[str]) -> list[Finding]:
     return findings
 
 
+def check_raw_stdio(path: pathlib.Path, code: list[str]) -> list[Finding]:
+    try:
+        rel = path.relative_to(SRC)
+    except ValueError:
+        return []
+    if rel.parts[0] == "common" and path.stem in RAW_STDIO_ALLOWED_STEMS:
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if RAW_STDIO_RE.search(line):
+            findings.append(Finding(
+                path, i, "no-raw-stdio",
+                "raw stdout/stderr write outside common/logging.* and "
+                "common/table.*; use LOG_* (severity-filtered, thread-safe) "
+                "or an obs sink"))
+    return findings
+
+
 CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
-          check_thread_detach, check_wall_clock, check_naked_recv]
+          check_thread_detach, check_wall_clock, check_naked_recv,
+          check_raw_stdio]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -371,6 +408,24 @@ def self_test() -> int:
          "auto raw = channel.recv();\n", False),  # net/moe-only rule
         ("naked-recv", REPO / "tests" / "seeded.cpp",
          "auto raw = channel.recv();\n", False),  # src-only rule
+        ("no-raw-stdio", SRC / "net" / "seeded.cpp",
+         'std::printf("gather done\\n");\n', True),
+        ("no-raw-stdio", SRC / "core" / "seeded.cpp",
+         'fprintf(stderr, "bad gate\\n");\n', True),
+        ("no-raw-stdio", SRC / "sim" / "seeded.cpp",
+         'std::cout << "latency " << ms;\n', True),
+        ("no-raw-stdio", SRC / "obs" / "seeded.cpp",
+         'std::cerr << "dropped";\n', True),  # obs writes files, not streams
+        ("no-raw-stdio", SRC / "common" / "logging.cpp",
+         'std::fprintf(out, "[%s] %s\\n", tag, msg);\n', False),
+        ("no-raw-stdio", SRC / "common" / "table.hpp",
+         'std::printf("%s", row.c_str());\n', False),
+        ("no-raw-stdio", SRC / "obs" / "seeded.cpp",
+         "std::snprintf(buf, sizeof(buf), \"%.17g\", v);\n", False),
+        ("no-raw-stdio", REPO / "bench" / "seeded.cpp",
+         'std::printf("table row\\n");\n', False),  # src-only rule
+        ("no-raw-stdio", SRC / "moe" / "seeded.cpp",
+         "// printf-style formatting documented here\n", False),
     ]
     failures = 0
     for rule, path, snippet, should_fire in cases:
