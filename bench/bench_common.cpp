@@ -122,6 +122,14 @@ void require_writable_parent_or_exit(const std::string& path,
 
 }  // namespace
 
+void apply_scheduler_options(sim::ScenarioConfig& config,
+                             const Options& opts) {
+  config.scheduler = opts.scheduler;
+  config.grant_policy = opts.grant_policy;
+  config.schedule_seed = opts.schedule_seed;
+  config.schedule_slack_s = opts.schedule_slack_s;
+}
+
 Options parse_options(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
@@ -152,6 +160,19 @@ Options parse_options(int argc, char** argv) {
                              "discrete_event)\n", mode.c_str());
         std::exit(2);
       }
+    } else if (arg == "--grant-policy" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      const auto kind = sim::des::parse_grant_policy(name);
+      if (!kind) {
+        std::fprintf(stderr, "unknown --grant-policy %s (want canonical, "
+                             "random-tiebreak or pct)\n", name.c_str());
+        std::exit(2);
+      }
+      opts.grant_policy = *kind;
+    } else if (arg == "--schedule-seed" && i + 1 < argc) {
+      opts.schedule_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--schedule-slack" && i + 1 < argc) {
+      opts.schedule_slack_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--verbose") {
       log::set_level(log::Level::Info);
     } else {
@@ -159,7 +180,9 @@ Options parse_options(int argc, char** argv) {
                    "usage: %s [--quick] [--verbose] [--cache-dir DIR] "
                    "[--json PATH] [--trace PATH] [--metrics PATH] "
                    "[--trace-sched] "
-                   "[--scheduler free_running|discrete_event]\n",
+                   "[--scheduler free_running|discrete_event] "
+                   "[--grant-policy canonical|random-tiebreak|pct] "
+                   "[--schedule-seed N] [--schedule-slack S]\n",
                    argv[0]);
       std::exit(2);
     }

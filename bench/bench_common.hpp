@@ -31,7 +31,20 @@ struct Options {
   /// number — latency_ms included — is bit-reproducible from the seed;
   /// --scheduler free_running restores the racing wall-clock mode.
   sim::Scheduler scheduler = sim::Scheduler::discrete_event;
+  /// Schedule-exploration knobs (DESIGN.md §11), forwarded into every
+  /// ScenarioConfig via apply_scheduler_options. The defaults (canonical,
+  /// seed 0, slack 0) reproduce the historical schedule byte for byte;
+  /// --grant-policy/--schedule-seed/--schedule-slack rerun a bench under a
+  /// perturbed-but-legal schedule, e.g. to replay an explorer finding at
+  /// full bench scale.
+  sim::des::GrantPolicyKind grant_policy = sim::des::GrantPolicyKind::canonical;
+  std::uint64_t schedule_seed = 0;
+  double schedule_slack_s = 0.0;
 };
+
+/// Copies the scheduler-selection flags (--scheduler, --grant-policy,
+/// --schedule-seed, --schedule-slack) into a scenario config.
+void apply_scheduler_options(sim::ScenarioConfig& config, const Options& opts);
 
 /// Parses the shared bench flags. Every output-file flag (--json, --trace,
 /// --metrics) fails fast with a teamnet::Error naming the flag and path when

@@ -17,7 +17,7 @@ void run_device(const Options& opts, const CifarSetup& setup,
   cfg.device = device;
   cfg.link = sim::socket_link();
   cfg.num_queries = 20;
-  cfg.scheduler = opts.scheduler;
+  apply_scheduler_options(cfg, opts);
 
   std::vector<PaperColumn> columns;
   columns.push_back({"SS-26 (baseline)",

@@ -22,7 +22,7 @@ void run_device(const Options& opts, JsonReport& report,
   sim::ScenarioConfig cfg;
   cfg.device = device;
   cfg.num_queries = 40;
-  cfg.scheduler = opts.scheduler;
+  apply_scheduler_options(cfg, opts);
 
   auto socket_cfg = cfg;
   socket_cfg.link = sim::socket_link();

@@ -114,7 +114,16 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
       net::Message reply = net::Message::decode(*raw);
       TEAMNET_CHECK(reply.type == net::MsgType::Result &&
                     reply.tensors.size() == 2);
-      if (reply.ints.empty() || reply.ints[0] != qid) {
+      if (test_pre_qid_gather_) {
+        // TEST-ONLY mutant (see set_test_pre_qid_gather): no id echo — the
+        // deadline reading is the only stale filter, so acceptance races
+        // the reply's arrival time against the clock.
+        if (deadline.remaining() <= 0.0) {
+          throw NetworkError("expert " + std::to_string(i) +
+                             " answered past the deadline reading "
+                             "(pre-qid mutant)");
+        }
+      } else if (reply.ints.empty() || reply.ints[0] != qid) {
         obs::MetricsRegistry::instance()
             .counter("moe.stale_replies_total")
             .increment();

@@ -41,11 +41,18 @@ class MoeMaster {
   /// Substitutes the monotonic clock used for the reply deadline.
   void set_time_source(net::TimeSource now);
 
+  /// TEST-ONLY: re-introduces the pre-query-id gather (same mutation hook
+  /// as net::CollaborativeMaster::set_test_pre_qid_gather; see there). Any
+  /// reply arriving while the deadline still reads unexpired is trusted;
+  /// one arriving after it throws the miss-path NetworkError.
+  void set_test_pre_qid_gather(bool enable) { test_pre_qid_gather_ = enable; }
+
  private:
   SgMoe& model_;
   std::vector<net::Channel*> workers_;
   net::ComputeHook on_compute_;
   double worker_timeout_s_ = 0.0;
+  bool test_pre_qid_gather_ = false;  ///< test-only mutation hook
   net::TimeSource now_;
   std::int64_t query_seq_ = 0;
 };

@@ -314,7 +314,23 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
               reply.type == MsgType::Result && reply.tensors.size() == 2,
               "worker " << w + 1 << " sent malformed reply type "
                         << static_cast<int>(reply.type));
-          if (reply.ints.empty() || reply.ints[0] != qid) {
+          if (test_pre_qid_gather_) {
+            // TEST-ONLY mutant (see set_test_pre_qid_gather): the pre-PR-3
+            // gather had no query-id echo, so its only stale defense was
+            // the deadline reading — a Result landing while the deadline
+            // still reads unexpired is trusted as THIS query's answer; one
+            // landing after it is treated as the miss the naive code
+            // assumed. Whether a reply beats the reading depends on its
+            // arrival time, i.e. on the schedule — the race the id echo
+            // removed and the schedule explorer exists to catch.
+            if (deadline.remaining() <= 0.0) {
+              LOG_WARN("worker " << w + 1
+                                 << " answered past the deadline reading; "
+                                    "marking failed (pre-qid mutant)");
+              mark_failed(w);
+              break;
+            }
+          } else if (reply.ints.empty() || reply.ints[0] != qid) {
             ++stale_discarded_;
             bump("collab.stale_replies_total");
             obs::trace_instant("stale_reply_discarded", [&] {

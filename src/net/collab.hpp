@@ -140,6 +140,18 @@ class CollaborativeMaster {
   /// Replies discarded because their query id did not match the in-flight
   /// query (late answers from timed-out workers, injected duplicates).
   std::int64_t stale_replies_discarded() const { return stale_discarded_; }
+
+  /// TEST-ONLY: re-introduces the pre-PR-3 gather, which had no query-id
+  /// echo. Its only stale-reply defense was the deadline clock reading:
+  /// whatever Result arrives while the deadline still reads unexpired is
+  /// trusted as the current query's answer (whichever query it actually
+  /// answers), and one arriving after the reading is treated as a miss.
+  /// That makes acceptance a time-of-check race — the outcome depends on
+  /// arrival order against the deadline, i.e. on the schedule — which is
+  /// the ordering bug the id echo removed. Exists so the schedule
+  /// explorer's mutation gate can prove the detector catches a real bug;
+  /// never enable in production paths.
+  void set_test_pre_qid_gather(bool enable) { test_pre_qid_gather_ = enable; }
   /// Probed workers that answered and re-entered the live set.
   std::int64_t rejoins() const { return rejoins_; }
 
@@ -171,6 +183,7 @@ class CollaborativeMaster {
   std::int64_t probe_seq_ = 0;
   std::int64_t stale_discarded_ = 0;
   std::int64_t rejoins_ = 0;
+  bool test_pre_qid_gather_ = false;  ///< test-only mutation hook
 };
 
 }  // namespace teamnet::net

@@ -34,9 +34,15 @@ Event EventQueue::pop() {
   return event;
 }
 
-Engine::Engine(int num_nodes) : num_nodes_(num_nodes) {
+Engine::Engine(int num_nodes, std::unique_ptr<GrantPolicy> policy)
+    : num_nodes_(num_nodes),
+      policy_(policy != nullptr
+                  ? std::move(policy)
+                  : make_grant_policy(GrantPolicyKind::canonical, 0,
+                                      num_nodes)) {
   TEAMNET_CHECK_MSG(num_nodes > 0, "Engine needs at least one node");
   nodes_.resize(static_cast<std::size_t>(num_nodes));
+  eligible_.reserve(static_cast<std::size_t>(num_nodes));
 }
 
 void Engine::check_node(int node) const {
@@ -95,27 +101,76 @@ double Engine::wake_time_locked(const NodeSlot& slot) const {
 bool Engine::granted_locked(int node) const {
   const NodeSlot& self = nodes_[static_cast<std::size_t>(node)];
   if (self.state != NodeState::kRunning) return false;
+  // Conservative floor: a node may only act while it is within the policy's
+  // eligibility window of the minimum key, where a running node's key is
+  // its clock and a blocked node's key is its determined wake time. A
+  // blocked node whose wakeup is already determined (delivery queued,
+  // channel drained-and-closed, timeout fired) WILL resume at a known
+  // virtual time; until its thread actually wakes it keeps depressing the
+  // grant floor, or the window between event-fire and thread-wake would let
+  // later-clocked nodes slip sends in front of it non-deterministically —
+  // exactly the thread-timing leak this engine exists to remove.
+  //
+  // The window (policy slack, 0 under canonical) widens "simultaneously
+  // eligible" to every node within `t_min + slack`: reordering those nodes'
+  // timed ops perturbs only virtual times via the shared-medium cursor
+  // (bounded arbitration jitter); per-mailbox delivery content remains
+  // pump-fire-order deterministic either way.
+  double t_min = self.time;
   for (int m = 0; m < num_nodes_; ++m) {
-    if (m == node) continue;
     const NodeSlot& other = nodes_[static_cast<std::size_t>(m)];
-    // A blocked node whose wakeup is already determined (delivery queued,
-    // channel drained-and-closed, timeout fired) WILL resume at a known
-    // virtual time; until its thread actually wakes it must still hold the
-    // grant floor, or the window between event-fire and thread-wake would
-    // let later-clocked nodes slip sends in front of it and perturb the
-    // shared medium cursor — exactly the thread-timing leak this engine
-    // exists to remove.
     const double t = other.state == NodeState::kRunning
                          ? other.time
                          : wake_time_locked(other);
-    if (t < self.time || (t == self.time && m < node)) {
-      return false;
-    }
+    if (t < t_min) t_min = t;
   }
-  // Events win ties against running nodes: a delivery due at the node's own
-  // clock must land before the node takes another timed step, or the trace
-  // would depend on which thread got scheduled first.
-  return events_.empty() || events_.top().key.time > self.time;
+  const double window = t_min + policy_->slack();
+  if (self.time > window) return false;
+  // Events win ties against running nodes: a delivery due at or before a
+  // node's own clock must land before that node takes another timed step,
+  // or the trace would depend on which thread got scheduled first. The
+  // floor node always passes this gate (post-pump events strictly exceed
+  // the min running clock), so the eligible set is never empty and a gated
+  // ahead-of-floor node cannot livelock the grant.
+  const double gate = events_.empty()
+                          ? std::numeric_limits<double>::infinity()
+                          : events_.top().key.time;
+  if (self.time >= gate) return false;
+  eligible_.clear();
+  for (int m = 0; m < num_nodes_; ++m) {
+    const NodeSlot& other = nodes_[static_cast<std::size_t>(m)];
+    const double t = other.state == NodeState::kRunning
+                         ? other.time
+                         : wake_time_locked(other);
+    if (t <= window && t < gate) eligible_.push_back(m);
+  }
+  // Which of the simultaneously eligible nodes acts first is pure schedule
+  // choice — delegate it to the policy. The salt mixes in state that only
+  // granted sends mutate, so repeated ties at the same virtual time can
+  // still land on different winners without breaking the purity contract.
+  const std::uint64_t salt = mix64(next_seq_ ^ double_bits(medium_free_));
+  return policy_->choose(t_min, eligible_, salt) == node;
+}
+
+void Engine::record_locked(std::uint64_t tag, int node, double time,
+                           std::uint64_t extra) {
+  std::uint64_t h = mix64(tag ^ mix64(static_cast<std::uint64_t>(node) ^
+                                      mix64(double_bits(time) ^ extra)));
+  digest_ += h;  // commutative on purpose — see schedule_digest()
+}
+
+std::uint64_t Engine::schedule_digest() const {
+  MutexLock lock(mutex_);
+  return digest_;
+}
+
+int Engine::unretired_nodes() const {
+  MutexLock lock(mutex_);
+  int n = 0;
+  for (const NodeSlot& slot : nodes_) {
+    if (slot.state != NodeState::kRetired) ++n;
+  }
+  return n;
 }
 
 void Engine::pump_locked() {
@@ -215,6 +270,7 @@ std::string Engine::pop_locked(int node, Mailbox& mb) {
   slot.time = std::max(slot.time, delivery.arrival);
   bytes_ += static_cast<std::int64_t>(delivery.bytes.size());
   ++messages_;
+  record_locked('P', node, delivery.arrival, delivery.bytes.size());
   // The receiver's clock may have jumped forward, raising the pump horizon.
   pump_locked();
   cv_.notify_all();
@@ -228,6 +284,8 @@ double Engine::advance(int node, double seconds) {
   await_grant_locked(node);
   NodeSlot& slot = nodes_[static_cast<std::size_t>(node)];
   slot.time += seconds;
+  record_locked('A', node, slot.time, 0);
+  policy_->note_step(node);
   pump_locked();
   cv_.notify_all();
   return slot.time;
@@ -240,6 +298,7 @@ void Engine::retire(int node) {
   slot.state = NodeState::kRetired;
   slot.waiting = nullptr;
   slot.has_timeout = false;
+  record_locked('R', node, slot.time, 0);
   if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
     obs::Tracer::instance().instant_at(node, slot.time, "des.retire",
                                        obs::TraceArgs());
@@ -276,7 +335,16 @@ void Engine::send(int from, const std::shared_ptr<Mailbox>& to,
   const double start = std::max(send_time, medium_free_);
   medium_free_ = start + airtime;
   const double arrival = start + airtime + link.latency_s;
+  // Causality invariant the explorer leans on: no delivery may ever be
+  // scheduled before its send left the sender's clock.
+  TEAMNET_CHECK_MSG(arrival >= send_time,
+                    "delivery scheduled before its send: arrival="
+                        << arrival << " send_time=" << send_time);
   to->pending_events_ += 1;
+  record_locked('S', from, arrival,
+                mix64(static_cast<std::uint64_t>(to->owner()) ^
+                      static_cast<std::uint64_t>(bytes.size())));
+  policy_->note_step(from);
   if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
     // Under `mutex_` — must use the explicit-timestamp API; a bound
     // TimeSource would call node_time() and self-deadlock on `mutex_`.
@@ -345,6 +413,7 @@ std::optional<std::string> Engine::recv_timeout(int node, Mailbox& mb,
         slot.time += budget;
         pump_locked();
       }
+      record_locked('T', node, slot.time, 0);
       if (obs::Tracer::active() && obs::Tracer::scheduler_events()) {
         obs::Tracer::instance().instant_at(
             node, slot.time, "des.timeout_fired",

@@ -48,6 +48,7 @@
 #include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "net/virtual_clock.hpp"
+#include "sim/des/grant_policy.hpp"
 
 namespace teamnet::sim::des {
 
@@ -120,9 +121,28 @@ class Mailbox {
 
 class Engine {
  public:
-  explicit Engine(int num_nodes);
+  /// A null `policy` means the canonical lexicographic-min rule. The policy
+  /// only breaks ties among simultaneously eligible nodes — the
+  /// conservative floor (nobody acts ahead of the minimum key) and the
+  /// event-vs-node ordering are not policy choices (DESIGN.md §11).
+  explicit Engine(int num_nodes, std::unique_ptr<GrantPolicy> policy = nullptr);
 
   int num_nodes() const { return num_nodes_; }
+
+  /// Order-insensitive fingerprint of everything schedule-visible that
+  /// happened so far: granted advances/sends, deliveries, timeout charges
+  /// and retirements, each hashed with its virtual timestamp and summed.
+  /// Two runs of the same scenario under the same (seed, policy,
+  /// schedule_seed) must report identical digests — the bit-exactness
+  /// check behind counterexample replay. The sum (not a running chain)
+  /// is deliberate: receive-side pops race granted operations in REAL
+  /// mutex-acquisition order even though their virtual content is
+  /// deterministic, so only a commutative combine is reproducible.
+  std::uint64_t schedule_digest() const;
+
+  /// Nodes not yet retired — 0 after a clean run (every worker and the
+  /// master retired); the explorer checks this as a protocol invariant.
+  int unretired_nodes() const;
 
   // -- clock surface (mirrors net::VirtualClock) ----------------------------
   double node_time(int node) const;
@@ -183,6 +203,10 @@ class Engine {
   /// +inf for nodes that are running, retired, or still genuinely waiting.
   double wake_time_locked(const NodeSlot& slot) const TN_REQUIRES(mutex_);
   bool granted_locked(int node) const TN_REQUIRES(mutex_);
+  /// Mixes one schedule-visible record into the digest (commutative sum —
+  /// see schedule_digest()).
+  void record_locked(std::uint64_t tag, int node, double time,
+                     std::uint64_t extra) TN_REQUIRES(mutex_);
   /// Fires every event due at or before the minimum running clock.
   void pump_locked() TN_REQUIRES(mutex_);
   /// At quiescence, fires the earliest pending timeout or declares
@@ -193,14 +217,21 @@ class Engine {
   std::string pop_locked(int node, Mailbox& mb) TN_REQUIRES(mutex_);
 
   const int num_nodes_;
+  /// Tie-break rule; never null. State only mutates via note_step under
+  /// mutex_ on granted operations (see GrantPolicy's purity contract).
+  const std::unique_ptr<GrantPolicy> policy_;
   mutable Mutex mutex_;
   CondVar cv_;
+  /// Scratch for granted_locked's eligible set (avoids an allocation per
+  /// grant check; only touched under mutex_).
+  mutable std::vector<int> eligible_ TN_GUARDED_BY(mutex_);
   std::vector<NodeSlot> nodes_ TN_GUARDED_BY(mutex_);
   EventQueue events_ TN_GUARDED_BY(mutex_);
   double medium_free_ TN_GUARDED_BY(mutex_) = 0.0;
   std::uint64_t next_seq_ TN_GUARDED_BY(mutex_) = 0;
   std::int64_t bytes_ TN_GUARDED_BY(mutex_) = 0;
   std::int64_t messages_ TN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t digest_ TN_GUARDED_BY(mutex_) = 0;
   bool deadlocked_ TN_GUARDED_BY(mutex_) = false;
   std::string deadlock_msg_ TN_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,143 @@
+#include "sim/des/explore.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace teamnet::sim::des {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+  return out.str();
+}
+
+std::string repro_command(const ExploreConfig& config, const ScheduleCase& c) {
+  if (config.repro_prefix.empty()) return {};
+  return config.repro_prefix + " --replay --policy=" + to_string(c.policy) +
+         " --schedule-seed=" + std::to_string(c.schedule_seed);
+}
+
+std::string divergence_detail(const std::string& canonical,
+                              const std::string& observed) {
+  return "discrete outcome diverged from the canonical schedule\n"
+         "--- canonical ---\n" +
+         canonical + "\n--- perturbed ---\n" + observed;
+}
+
+}  // namespace
+
+ScheduleCase case_at(const ExploreConfig& config, int i) {
+  ScheduleCase c;
+  c.policy = (i % 2 == 0) ? GrantPolicyKind::random_tiebreak
+                          : GrantPolicyKind::pct;
+  c.schedule_seed = config.schedule_seed0 + static_cast<std::uint64_t>(i);
+  return c;
+}
+
+ExploreReport explore_schedules(const ScheduleRunner& runner,
+                                const ExploreConfig& config) {
+  TEAMNET_CHECK_MSG(config.num_schedules >= 0,
+                    "num_schedules must be non-negative");
+  ExploreReport report;
+
+  const ScheduleCase canonical_case;  // canonical, seed 0
+  report.baseline = runner(canonical_case);
+  if (report.baseline.deadlocked || !report.baseline.error.empty()) {
+    Violation v;
+    v.schedule = canonical_case;
+    v.kind = "baseline-failure";
+    v.detail = report.baseline.deadlocked
+                   ? "canonical run deadlocked"
+                   : "canonical run failed: " + report.baseline.error;
+    v.repro = repro_command(config, canonical_case);
+    report.violations.push_back(std::move(v));
+    return report;  // nothing sound to compare perturbed schedules against
+  }
+
+  for (int i = 0; i < config.num_schedules; ++i) {
+    const ScheduleCase c = case_at(config, i);
+    const RunOutcome outcome = runner(c);
+
+    CaseRecord record;
+    record.schedule = c;
+    record.digest = outcome.digest;
+
+    Violation v;
+    v.schedule = c;
+    v.repro = repro_command(config, c);
+    if (outcome.deadlocked) {
+      record.status = "deadlock";
+      v.kind = "deadlock";
+      v.detail = "run deadlocked under this schedule";
+    } else if (!outcome.error.empty()) {
+      record.status = "error";
+      v.kind = "error";
+      v.detail = outcome.error;
+    } else if (outcome.discrete != report.baseline.discrete) {
+      record.status = "divergence";
+      v.kind = "outcome-divergence";
+      v.detail = divergence_detail(report.baseline.discrete, outcome.discrete);
+    } else {
+      record.status = "match";
+    }
+    report.cases.push_back(record);
+    if (record.status == "match") continue;
+
+    if (config.replay_check) {
+      // A counterexample is only a counterexample if it reproduces: rerun
+      // the case and demand the identical interleaving and outcome. A
+      // mismatch means the harness itself leaked nondeterminism — report
+      // THAT, not the unreproducible "bug".
+      const RunOutcome replay = runner(c);
+      if (replay.digest != outcome.digest ||
+          replay.discrete != outcome.discrete ||
+          replay.deadlocked != outcome.deadlocked ||
+          replay.error != outcome.error) {
+        Violation flaky;
+        flaky.schedule = c;
+        flaky.kind = "replay-divergence";
+        flaky.detail =
+            "case did not replay bit-identically (original " + v.kind +
+            "): digest " + hex64(outcome.digest) + " vs " +
+            hex64(replay.digest);
+        flaky.repro = v.repro;
+        report.violations.push_back(std::move(flaky));
+        continue;
+      }
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+std::string format_report(const ExploreReport& report) {
+  std::ostringstream out;
+  out << "schedule exploration: cases=" << report.cases.size()
+      << " baseline_digest=" << hex64(report.baseline.digest) << "\n";
+  for (std::size_t i = 0; i < report.cases.size(); ++i) {
+    const CaseRecord& r = report.cases[i];
+    out << "case " << std::setfill('0') << std::setw(3) << i
+        << std::setfill(' ') << " policy=" << to_string(r.schedule.policy)
+        << " schedule_seed=" << r.schedule.schedule_seed
+        << " digest=" << hex64(r.digest) << " status=" << r.status << "\n";
+  }
+  out << "violations: " << report.violations.size() << "\n";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    out << "violation " << i << ": kind=" << v.kind
+        << " policy=" << to_string(v.schedule.policy)
+        << " schedule_seed=" << v.schedule.schedule_seed << "\n";
+    if (!v.repro.empty()) out << "  repro: " << v.repro << "\n";
+    std::istringstream detail(v.detail);
+    for (std::string line; std::getline(detail, line);) {
+      out << "  " << line << "\n";
+    }
+  }
+  out << (report.passed() ? "PASS" : "FAIL") << "\n";
+  return out.str();
+}
+
+}  // namespace teamnet::sim::des

@@ -57,6 +57,7 @@ class FreeRunningNet final : public SimNet {
 
   void retire(int /*node*/) override {}  // free-running threads just exit
   void close_all() override { close_mesh(mesh_); }
+  std::uint64_t finish() override { return 0; }
 
  private:
   net::VirtualClock clock_;
@@ -65,8 +66,12 @@ class FreeRunningNet final : public SimNet {
 
 class DesNet final : public SimNet {
  public:
-  DesNet(int num_nodes, const net::LinkProfile& link)
-      : engine_(num_nodes),
+  DesNet(int num_nodes, const net::LinkProfile& link,
+         const SimNetOptions& options)
+      : engine_(num_nodes,
+                des::make_grant_policy(options.grant_policy,
+                                       options.schedule_seed, num_nodes,
+                                       options.schedule_slack_s)),
         mesh_(des::make_des_mesh(engine_, num_nodes, link)) {}
 
   Scheduler scheduler() const override { return Scheduler::discrete_event; }
@@ -94,6 +99,13 @@ class DesNet final : public SimNet {
 
   void retire(int node) override { engine_.retire(node); }
   void close_all() override { close_mesh(mesh_); }
+  std::uint64_t finish() override {
+    TEAMNET_CHECK_MSG(engine_.unretired_nodes() == 0,
+                      engine_.unretired_nodes()
+                          << " node(s) never retired — a worker exited "
+                             "without declaring its protocol role done");
+    return engine_.schedule_digest();
+  }
 
  private:
   des::Engine engine_;
@@ -114,8 +126,14 @@ const char* to_string(Scheduler scheduler) {
 
 std::unique_ptr<SimNet> make_sim_net(Scheduler scheduler, int num_nodes,
                                      const net::LinkProfile& link) {
+  return make_sim_net(scheduler, num_nodes, link, SimNetOptions());
+}
+
+std::unique_ptr<SimNet> make_sim_net(Scheduler scheduler, int num_nodes,
+                                     const net::LinkProfile& link,
+                                     const SimNetOptions& options) {
   if (scheduler == Scheduler::discrete_event) {
-    return std::make_unique<DesNet>(num_nodes, link);
+    return std::make_unique<DesNet>(num_nodes, link, options);
   }
   return std::make_unique<FreeRunningNet>(num_nodes, link);
 }

@@ -13,6 +13,7 @@
 
 #include "net/transport.hpp"
 #include "net/virtual_clock.hpp"
+#include "sim/des/grant_policy.hpp"
 
 namespace teamnet::sim {
 
@@ -53,9 +54,31 @@ class SimNet {
 
   /// Closes every channel leg still owned by the mesh (error teardown).
   virtual void close_all() = 0;
+
+  /// End-of-run check + fingerprint, called by drivers after every node
+  /// thread joined. Under discrete_event: verifies every node retired (a
+  /// protocol invariant — an unretired node means a worker exited without
+  /// declaring itself done) and returns the engine's schedule digest.
+  /// Under free_running: no check, returns 0.
+  virtual std::uint64_t finish() = 0;
+};
+
+/// Schedule-perturbation knobs for the discrete-event mesh; free_running
+/// ignores them. The default (canonical, seed 0) is byte-compatible with
+/// the historical two-argument factory.
+struct SimNetOptions {
+  des::GrantPolicyKind grant_policy = des::GrantPolicyKind::canonical;
+  std::uint64_t schedule_seed = 0;
+  /// Eligibility window for the perturbing policies (virtual seconds; see
+  /// des::GrantPolicy::slack). Ignored by canonical, so the default
+  /// byte-identity guarantee is unaffected.
+  double schedule_slack_s = 0.0;
 };
 
 std::unique_ptr<SimNet> make_sim_net(Scheduler scheduler, int num_nodes,
                                      const net::LinkProfile& link);
+std::unique_ptr<SimNet> make_sim_net(Scheduler scheduler, int num_nodes,
+                                     const net::LinkProfile& link,
+                                     const SimNetOptions& options);
 
 }  // namespace teamnet::sim

@@ -1,0 +1,203 @@
+#include "sim/explore_scenarios.hpp"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "data/blobs.hpp"
+#include "moe/sg_moe.hpp"
+#include "nn/mlp.hpp"
+#include "sim/des/engine.hpp"
+
+namespace teamnet::sim {
+namespace {
+
+// ---- fixtures (same shapes as the determinism gate) ------------------------
+
+data::Dataset blob_test_set() {
+  data::BlobsConfig cfg;
+  cfg.num_samples = 200;
+  cfg.num_classes = 4;
+  cfg.dims = 8;
+  cfg.seed = 21;
+  return data::make_blobs(cfg);
+}
+
+std::vector<std::unique_ptr<nn::MlpNet>> make_experts(int k) {
+  std::vector<std::unique_ptr<nn::MlpNet>> experts;
+  for (int i = 0; i < k; ++i) {
+    nn::MlpConfig cfg;
+    cfg.in_features = 8;
+    cfg.num_classes = 4;
+    cfg.depth = 2;
+    cfg.hidden = 12;
+    Rng rng(100 + i);
+    experts.push_back(std::make_unique<nn::MlpNet>(cfg, rng));
+  }
+  return experts;
+}
+
+ScenarioConfig scenario_config(const ExploreScenarioOptions& options,
+                               const des::ScheduleCase& c) {
+  ScenarioConfig cfg;
+  cfg.num_queries = options.num_queries;
+  cfg.link = options.link;
+  cfg.seed = options.seed;
+  cfg.scheduler = Scheduler::discrete_event;
+  cfg.grant_policy = c.policy;
+  cfg.schedule_seed = c.schedule_seed;
+  cfg.schedule_slack_s = options.schedule_slack_s;
+  return cfg;
+}
+
+/// Wraps a scenario invocation into the explorer's outcome shape,
+/// translating the two failure modes the explorer distinguishes.
+template <typename Run>
+des::RunOutcome guarded_run(Run&& run) {
+  des::RunOutcome out;
+  try {
+    std::forward<Run>(run)(out);
+  } catch (const des::DeadlockError&) {
+    out.deadlocked = true;
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+struct TeamNetFixture {
+  std::vector<std::unique_ptr<nn::MlpNet>> experts = make_experts(3);
+  data::Dataset test = blob_test_set();
+
+  std::vector<nn::Module*> expert_ptrs() const {
+    std::vector<nn::Module*> ptrs;
+    for (const auto& e : experts) ptrs.push_back(e.get());
+    return ptrs;
+  }
+};
+
+}  // namespace
+
+ChaosConfig ExploreScenarioOptions::default_explore_chaos() {
+  ChaosConfig chaos;
+  chaos.faults.drop_prob = 0.2;
+  chaos.faults.corrupt_prob = 0.1;
+  chaos.faults.duplicate_prob = 0.15;
+  chaos.worker_timeout_s = 0.25;
+  chaos.probe_interval = 2;
+  chaos.partition_worker = 0;
+  chaos.partition_from_query = 3;
+  chaos.heal_at_query = 6;
+  return chaos;
+}
+
+const std::vector<std::string>& explore_scenario_names() {
+  static const std::vector<std::string> names = {"teamnet", "mpi", "sg-moe",
+                                                 "chaos"};
+  return names;
+}
+
+std::string discrete_bytes(const ScenarioResult& result) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "approach=" << result.approach << "\n"
+      << "num_nodes=" << result.num_nodes << "\n"
+      << "accuracy_pct=" << result.accuracy_pct << "\n"
+      << "bytes_per_query=" << result.bytes_per_query << "\n"
+      << "messages_per_query=" << result.messages_per_query << "\n";
+  return out.str();
+}
+
+std::string discrete_bytes(const ChaosResult& result) {
+  std::ostringstream out;
+  out << discrete_bytes(result.scenario);
+  out << "live_nodes=";
+  for (std::size_t i = 0; i < result.live_nodes.size(); ++i) {
+    if (i != 0) out << ",";
+    out << result.live_nodes[i];
+  }
+  out << "\ncorrect=";
+  for (char c : result.correct) out << (c ? '1' : '0');
+  out << "\nstale_replies=" << result.stale_replies
+      << "\nrejoins=" << result.rejoins
+      << "\nfaults_injected=" << result.faults_injected
+      << "\nfault_schedule=" << result.fault_schedule << "\n";
+  return out.str();
+}
+
+des::ScheduleRunner make_explore_runner(const std::string& scenario,
+                                        const ExploreScenarioOptions& options) {
+  if (scenario == "teamnet") {
+    auto fixture = std::make_shared<TeamNetFixture>();
+    return [fixture, options](const des::ScheduleCase& c) {
+      return guarded_run([&](des::RunOutcome& out) {
+        const auto result = run_teamnet(fixture->expert_ptrs(), fixture->test,
+                                        scenario_config(options, c));
+        out.discrete = discrete_bytes(result);
+        out.digest = result.schedule_digest;
+      });
+    };
+  }
+  if (scenario == "mpi") {
+    nn::MlpConfig cfg;
+    cfg.in_features = 8;
+    cfg.num_classes = 4;
+    cfg.depth = 3;
+    cfg.hidden = 12;
+    Rng rng(7);
+    auto model = std::make_shared<nn::MlpNet>(cfg, rng);
+    auto test = std::make_shared<data::Dataset>(blob_test_set());
+    return [model, test, options](const des::ScheduleCase& c) {
+      return guarded_run([&](des::RunOutcome& out) {
+        const auto result =
+            run_mpi_matrix(*model, *test, scenario_config(options, c), 3);
+        out.discrete = discrete_bytes(result);
+        out.digest = result.schedule_digest;
+      });
+    };
+  }
+  if (scenario == "sg-moe") {
+    moe::SgMoeConfig cfg;
+    cfg.num_experts = 3;
+    cfg.epochs = 1;
+    auto model =
+        std::make_shared<moe::SgMoe>(cfg, 8, [](int /*index*/, Rng& rng) {
+          nn::MlpConfig mc;
+          mc.in_features = 8;
+          mc.num_classes = 4;
+          mc.depth = 2;
+          mc.hidden = 10;
+          return std::make_unique<nn::MlpNet>(mc, rng);
+        });
+    auto test = std::make_shared<data::Dataset>(blob_test_set());
+    model->train(*test);
+    return [model, test, options](const des::ScheduleCase& c) {
+      return guarded_run([&](des::RunOutcome& out) {
+        const auto result =
+            run_sg_moe(*model, *test, scenario_config(options, c));
+        out.discrete = discrete_bytes(result);
+        out.digest = result.schedule_digest;
+      });
+    };
+  }
+  if (scenario == "chaos") {
+    auto fixture = std::make_shared<TeamNetFixture>();
+    ChaosConfig chaos = options.chaos;
+    chaos.faults.seed = options.seed;
+    return [fixture, options, chaos](const des::ScheduleCase& c) {
+      return guarded_run([&](des::RunOutcome& out) {
+        const auto result =
+            run_teamnet_chaos(fixture->expert_ptrs(), fixture->test,
+                              scenario_config(options, c), chaos);
+        out.discrete = discrete_bytes(result);
+        out.digest = result.scenario.schedule_digest;
+      });
+    };
+  }
+  throw InvalidArgument("unknown explore scenario: " + scenario +
+                        " (expected teamnet|mpi|sg-moe|chaos)");
+}
+
+}  // namespace teamnet::sim

@@ -1,0 +1,67 @@
+// Fixture runners binding the schedule explorer (sim/des/explore.hpp) to
+// the paper's scenario drivers. Each named scenario builds a small fixed
+// fleet (seeded models + blob dataset, the same shapes the determinism gate
+// uses), runs the REAL protocol under the requested grant policy, and
+// serializes only the schedule-invariant outcomes:
+//
+//   * approach name, node count, accuracy, traffic counts — all scenarios;
+//   * per-query live set, per-query correctness, stale/rejoin/fault
+//     totals and the fault schedule — the chaos scenario.
+//
+// Latency and utilisation are deliberately ABSENT: they derive from the
+// schedule (who waited for whom) and legitimately vary across legal
+// interleavings. Everything serialized here must not.
+//
+// Lives in sim/ (not sim/des/) because it links the whole model stack;
+// the explorer core underneath stays scenario-agnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/des/explore.hpp"
+#include "sim/scenario.hpp"
+
+namespace teamnet::sim {
+
+struct ExploreScenarioOptions {
+  std::uint64_t seed = 123;  ///< ScenarioConfig::seed and the chaos fault seed
+  int num_queries = 8;
+  /// Default link is CONTENDED (finite bandwidth + per-message overhead) on
+  /// purpose: with zero airtime the shared medium never arbitrates and
+  /// every legal schedule produces identical virtual times, so exploration
+  /// would be vacuous. Finite airtime staggers near-coincident sends and
+  /// lets the perturbing policies reorder them within the slack window.
+  net::LinkProfile link = net::LinkProfile{0.0005, 2e6, 0.001};
+  /// Eligibility window for the perturbed cases (virtual seconds). Sized to
+  /// a couple of airtimes of the default link so medium-capture reorderings
+  /// actually occur; canonical ignores it, keeping the baseline canonical.
+  double schedule_slack_s = 0.002;
+  /// Chaos-scenario tuning (ignored by the other scenarios). faults.seed is
+  /// overridden by `seed` so one knob sweeps the whole fixture. Flip
+  /// chaos.test_pre_qid_gather to arm the mutation gate.
+  ChaosConfig chaos = default_explore_chaos();
+
+  /// The chaos fault model the explorer runs by default: drops, corruption,
+  /// duplicates, plus a scripted partition/heal of worker 0 — the mix that
+  /// exercises every stale-reply and rejoin path.
+  static ChaosConfig default_explore_chaos();
+};
+
+/// Names accepted by make_explore_runner: "teamnet", "mpi", "sg-moe",
+/// "chaos".
+const std::vector<std::string>& explore_scenario_names();
+
+/// Builds the fixture for `scenario` ONCE (models are trained/seeded up
+/// front and shared across runs — inference does not mutate them) and
+/// returns a runner the explorer can invoke per schedule. Throws
+/// InvalidArgument for an unknown scenario name.
+des::ScheduleRunner make_explore_runner(const std::string& scenario,
+                                        const ExploreScenarioOptions& options);
+
+/// Byte-stable serializations of the schedule-invariant outcome subset
+/// (exposed for tests; make_explore_runner uses these internally).
+std::string discrete_bytes(const ScenarioResult& result);
+std::string discrete_bytes(const ChaosResult& result);
+
+}  // namespace teamnet::sim

@@ -76,6 +76,14 @@ double model_accuracy_pct(nn::Module& model, const data::Dataset& test) {
   return 100.0 * nn::accuracy(model.predict(test.images), test.labels);
 }
 
+SimNetOptions net_options(const ScenarioConfig& config) {
+  SimNetOptions opts;
+  opts.grant_policy = config.grant_policy;
+  opts.schedule_seed = config.schedule_seed;
+  opts.schedule_slack_s = config.schedule_slack_s;
+  return opts;
+}
+
 }  // namespace
 
 ScenarioResult run_baseline(nn::Module& model, const data::Dataset& test,
@@ -113,7 +121,8 @@ ScenarioResult run_teamnet_heterogeneous(
   // Before any worker spawns: each scenario run gets its own track epoch so
   // its restarted virtual clock never rewinds a previous run's trace rows.
   obs::Tracer::instance().begin_epoch("teamnet");
-  auto net = make_sim_net(config.scheduler, k, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link,
+                          net_options(config));
 
   std::atomic<double> master_compute{0.0};
   // Workers 1..k-1 serve their experts on their own device profiles.
@@ -166,6 +175,7 @@ ScenarioResult run_teamnet_heterogeneous(
   for (auto& t : threads) t.join();
 
   ScenarioResult result;
+  result.schedule_digest = net->finish();
   result.approach = "TeamNet";
   result.num_nodes = k;
   result.latency_ms = 1e3 * total_latency / config.num_queries;
@@ -214,7 +224,8 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
       "partition_worker must name a worker (0-based, < num_workers)");
   const int k = static_cast<int>(experts.size());
   obs::Tracer::instance().begin_epoch("teamnet-chaos");
-  auto net = make_sim_net(config.scheduler, k, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link,
+                          net_options(config));
   SimNet* netp = net.get();
 
   std::atomic<double> master_compute{0.0};
@@ -258,6 +269,7 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
   master.set_worker_timeout(chaos.worker_timeout_s);
   master.set_probe_interval(chaos.probe_interval);
   master.set_time_source([netp] { return netp->node_time(0); });
+  if (chaos.test_pre_qid_gather) master.set_test_pre_qid_gather(true);
 
   obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
   const auto queries = sample_queries(test, config.num_queries, config.seed);
@@ -318,6 +330,7 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
   master.shutdown();  // closes the faulty channels, waking every worker
   net->retire(0);
   for (auto& t : threads) t.join();
+  result.scenario.schedule_digest = net->finish();
   // Counted after the quiesce + join, so the totals are deterministic; they
   // include the quiesce Ping/Pong pairs and the Shutdown messages.
   const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
@@ -360,7 +373,8 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
                                MakeRunner make_runner) {
   model_for_metrics.set_training(false);  // before any rank thread starts
   obs::Tracer::instance().begin_epoch(approach);
-  auto net = make_sim_net(config.scheduler, num_nodes, config.link);
+  auto net = make_sim_net(config.scheduler, num_nodes, config.link,
+                          net_options(config));
 
   const auto queries = sample_queries(test, config.num_queries, config.seed);
   std::atomic<double> rank0_compute{0.0};
@@ -425,6 +439,7 @@ ScenarioResult run_mpi_generic(const std::string& approach, int num_nodes,
   const double total_latency = net->node_time(0) - t0;
 
   ScenarioResult result;
+  result.schedule_digest = net->finish();
   result.approach = approach;
   result.num_nodes = num_nodes;
   result.latency_ms = 1e3 * total_latency / config.num_queries;
@@ -488,7 +503,8 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
                           const ScenarioConfig& config) {
   const int k = model.num_experts();
   obs::Tracer::instance().begin_epoch("sg-moe");
-  auto net = make_sim_net(config.scheduler, k, config.link);
+  auto net = make_sim_net(config.scheduler, k, config.link,
+                          net_options(config));
 
   std::atomic<double> master_compute{0.0};
   std::vector<std::thread> threads;
@@ -534,6 +550,7 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
   for (auto& t : threads) t.join();
 
   ScenarioResult result;
+  result.schedule_digest = net->finish();
   result.approach = "SG-MoE";
   result.num_nodes = k;
   result.latency_ms = 1e3 * total_latency / config.num_queries;

@@ -36,6 +36,16 @@ struct ScenarioConfig {
   /// results (latency_ms included). Discrete outcomes — selection,
   /// accuracy, fault schedules, traffic counts — agree between the two.
   Scheduler scheduler = Scheduler::free_running;
+  /// Grant tie-break under discrete_event (DESIGN.md §11). The canonical
+  /// default reproduces the historical schedule byte for byte; the other
+  /// policies perturb which simultaneously eligible node acts first so the
+  /// explorer can hunt for schedule-dependent outcomes. Ignored under
+  /// free_running.
+  des::GrantPolicyKind grant_policy = des::GrantPolicyKind::canonical;
+  std::uint64_t schedule_seed = 0;  ///< seeds the non-canonical policies
+  /// Eligibility window for the non-canonical policies (virtual seconds;
+  /// see des::GrantPolicy::slack) — bounded medium-arbitration jitter.
+  double schedule_slack_s = 0.0;
 };
 
 struct ScenarioResult {
@@ -46,6 +56,10 @@ struct ScenarioResult {
   ResourceUsage usage;            ///< master/rank-0 node
   double bytes_per_query = 0.0;
   double messages_per_query = 0.0;
+  /// Engine fingerprint of the schedule that produced this result (0 under
+  /// free_running). Not part of the benchmark JSON — used by the schedule
+  /// explorer to prove a replayed counterexample is bit-identical.
+  std::uint64_t schedule_digest = 0;
 };
 
 /// Single edge node running the full model locally — the Baseline column.
@@ -101,6 +115,14 @@ struct ChaosConfig {
 
   double worker_timeout_s = 0.05;  ///< shared gather deadline (virtual s)
   int probe_interval = 2;          ///< probation probe cadence (queries)
+
+  /// TEST-ONLY mutation hook: re-introduces the pre-PR-3 gather, whose
+  /// stale-reply defense was the deadline clock reading instead of a
+  /// query-id echo — so acceptance races each reply's arrival time against
+  /// the deadline (net::CollaborativeMaster::set_test_pre_qid_gather).
+  /// Exists so the schedule explorer's mutation gate can prove it detects
+  /// a real ordering bug; never enable outside tests.
+  bool test_pre_qid_gather = false;
 };
 
 /// Per-query chaos telemetry on top of the usual scenario metrics.

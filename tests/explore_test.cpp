@@ -1,0 +1,300 @@
+// Schedule-explorer suite (DESIGN.md §11): grant-policy units, the
+// scenario-agnostic explorer harness, the unmutated-invariance matrix over
+// the paper's scenarios, and the mutation gate — a seeded reintroduction of
+// the pre-query-id gather (whose stale filter was a deadline clock reading,
+// i.e. a time-of-check race) that the explorer must catch within a bounded
+// schedule budget.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/des/explore.hpp"
+#include "sim/des/grant_policy.hpp"
+#include "sim/explore_scenarios.hpp"
+
+namespace teamnet::sim::des {
+namespace {
+
+// ---- grant-policy units ----------------------------------------------------
+
+TEST(GrantPolicy, CanonicalPicksLexicographicMinimum) {
+  auto policy = make_grant_policy(GrantPolicyKind::canonical, 0, 4);
+  EXPECT_EQ(policy->choose(1.5, {2, 3}, 99), 2);
+  EXPECT_EQ(policy->choose(0.0, {0, 1, 2, 3}, 7), 0);
+  EXPECT_EQ(policy->slack(), 0.0);
+}
+
+TEST(GrantPolicy, RandomTiebreakIsPureAndSeedSensitive) {
+  auto policy = make_grant_policy(GrantPolicyKind::random_tiebreak, 42, 4);
+  const std::vector<int> eligible = {0, 1, 2, 3};
+  const int first = policy->choose(2.0, eligible, 11);
+  // Purity: re-evaluation with identical arguments must land on the same
+  // winner no matter how many times real threads re-check the grant.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy->choose(2.0, eligible, 11), first);
+  }
+  // Across times, salts and seeds the choice varies — if it never did, the
+  // "perturbation" policies would silently degenerate to canonical.
+  std::set<int> winners;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    auto p = make_grant_policy(GrantPolicyKind::random_tiebreak, seed, 4);
+    for (int t = 0; t < 8; ++t) {
+      winners.insert(p->choose(0.25 * t, eligible, seed + 100));
+    }
+  }
+  EXPECT_GT(winners.size(), 1u);
+}
+
+TEST(GrantPolicy, PctPrioritiesChangeAtSeededPoints) {
+  auto policy = make_grant_policy(GrantPolicyKind::pct, 7, 3);
+  const std::vector<int> eligible = {0, 1, 2};
+  const int initial = policy->choose(0.0, eligible, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy->choose(0.0, eligible, 0), initial);
+  }
+  // Enough granted steps by the current winner hit a change point and
+  // demote it below everyone, forcing a preemption.
+  int winner = initial;
+  bool changed = false;
+  for (int step = 0; step < 200 && !changed; ++step) {
+    policy->note_step(winner);
+    winner = policy->choose(0.0, eligible, 0);
+    changed = winner != initial;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(GrantPolicy, PerturbingPoliciesCarryConfiguredSlack) {
+  EXPECT_EQ(
+      make_grant_policy(GrantPolicyKind::random_tiebreak, 1, 2, 0.25)->slack(),
+      0.25);
+  EXPECT_EQ(make_grant_policy(GrantPolicyKind::pct, 1, 2, 0.125)->slack(),
+            0.125);
+  // Canonical ignores the knob: its schedule IS the byte-identity baseline.
+  EXPECT_EQ(make_grant_policy(GrantPolicyKind::canonical, 1, 2, 0.25)->slack(),
+            0.0);
+}
+
+TEST(GrantPolicy, NamesRoundTrip) {
+  for (auto kind : {GrantPolicyKind::canonical, GrantPolicyKind::random_tiebreak,
+                    GrantPolicyKind::pct}) {
+    const auto parsed = parse_grant_policy(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_grant_policy("definitely-not-a-policy").has_value());
+}
+
+TEST(ExploreCase, AlternatesPoliciesAndIncrementsSeeds) {
+  ExploreConfig config;
+  config.schedule_seed0 = 10;
+  EXPECT_EQ(case_at(config, 0).policy, GrantPolicyKind::random_tiebreak);
+  EXPECT_EQ(case_at(config, 1).policy, GrantPolicyKind::pct);
+  EXPECT_EQ(case_at(config, 2).policy, GrantPolicyKind::random_tiebreak);
+  EXPECT_EQ(case_at(config, 0).schedule_seed, 10u);
+  EXPECT_EQ(case_at(config, 3).schedule_seed, 13u);
+}
+
+// ---- explorer harness over synthetic runners -------------------------------
+
+RunOutcome constant_outcome(std::uint64_t digest) {
+  RunOutcome out;
+  out.discrete = "answer=42\n";
+  out.digest = digest;
+  return out;
+}
+
+TEST(Explore, AllMatchingSchedulesPass) {
+  ExploreConfig config;
+  config.num_schedules = 5;
+  const auto report = explore_schedules(
+      [](const ScheduleCase&) { return constant_outcome(1); }, config);
+  EXPECT_TRUE(report.passed());
+  ASSERT_EQ(report.cases.size(), 5u);
+  for (const auto& c : report.cases) EXPECT_EQ(c.status, "match");
+}
+
+TEST(Explore, DivergenceCarriesReplayableRepro) {
+  ExploreConfig config;
+  config.num_schedules = 4;
+  config.repro_prefix = "schedule_explore --scenario=synthetic";
+  const auto report = explore_schedules(
+      [&](const ScheduleCase& c) {
+        // Deterministic per case, divergent for one of them — a "real"
+        // schedule-dependent outcome, not a flaky one.
+        RunOutcome out = constant_outcome(mix64(c.schedule_seed));
+        if (c.schedule_seed == case_at(config, 2).schedule_seed &&
+            c.policy == case_at(config, 2).policy) {
+          out.discrete = "answer=41\n";
+        }
+        return out;
+      },
+      config);
+  EXPECT_FALSE(report.passed());
+  ASSERT_EQ(report.violations.size(), 1u);
+  const Violation& v = report.violations[0];
+  EXPECT_EQ(v.kind, "outcome-divergence");
+  EXPECT_EQ(v.schedule.schedule_seed, case_at(config, 2).schedule_seed);
+  EXPECT_NE(v.repro.find("--replay"), std::string::npos);
+  EXPECT_NE(v.repro.find("--schedule-seed="), std::string::npos);
+  EXPECT_NE(v.repro.find("synthetic"), std::string::npos);
+}
+
+TEST(Explore, DeadlockAndErrorAreViolations) {
+  ExploreConfig config;
+  config.num_schedules = 2;
+  const auto report = explore_schedules(
+      [](const ScheduleCase& c) {
+        RunOutcome out = constant_outcome(3);
+        if (c.policy == GrantPolicyKind::random_tiebreak) {
+          out.deadlocked = true;
+        } else if (c.policy == GrantPolicyKind::pct) {
+          out.error = "invariant tripped";
+        }
+        return out;
+      },
+      config);
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].kind, "deadlock");
+  EXPECT_EQ(report.violations[1].kind, "error");
+}
+
+TEST(Explore, BaselineFailureShortCircuits) {
+  ExploreConfig config;
+  config.num_schedules = 10;
+  int calls = 0;
+  const auto report = explore_schedules(
+      [&](const ScheduleCase&) {
+        ++calls;
+        RunOutcome out;
+        out.error = "fixture exploded";
+        return out;
+      },
+      config);
+  EXPECT_FALSE(report.passed());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, "baseline-failure");
+  EXPECT_EQ(calls, 1);  // no point perturbing a scenario that can't run
+}
+
+TEST(Explore, FlakyCounterexampleReportedAsReplayDivergence) {
+  ExploreConfig config;
+  config.num_schedules = 1;
+  std::map<std::uint64_t, int> calls;
+  const auto report = explore_schedules(
+      [&](const ScheduleCase& c) {
+        if (c.policy == GrantPolicyKind::canonical) return constant_outcome(1);
+        // Wall-clock-dependent runner: diverges once, then "repairs" itself
+        // — the replay check must refuse to hand this to a human as a
+        // reproducible counterexample.
+        RunOutcome out = constant_outcome(2);
+        if (calls[c.schedule_seed]++ == 0) out.discrete = "answer=0\n";
+        return out;
+      },
+      config);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, "replay-divergence");
+}
+
+// ---- scenario integration --------------------------------------------------
+
+// Bounded budgets keep this suite inside regular ctest times while still
+// exercising every fixture; CI's schedule-explore job sweeps the full
+// ≥50-schedule matrix via tools/schedule_explore.
+ExploreConfig small_budget(int n) {
+  ExploreConfig config;
+  config.num_schedules = n;
+  return config;
+}
+
+TEST(ExploreScenarios, UnmutatedScenariosAreScheduleInvariant) {
+  for (const std::string& name : explore_scenario_names()) {
+    ExploreScenarioOptions options;
+    options.num_queries = 6;
+    const auto runner = make_explore_runner(name, options);
+    const auto report = explore_schedules(runner, small_budget(6));
+    EXPECT_TRUE(report.passed()) << name << ":\n" << format_report(report);
+  }
+}
+
+TEST(ExploreScenarios, PerturbationIsNotVacuous) {
+  // Guard against the failure mode where every "perturbed" schedule is
+  // secretly the canonical one (e.g. a contention-free link): across a few
+  // cases at least two distinct schedule digests must appear.
+  ExploreScenarioOptions options;
+  const auto runner = make_explore_runner("chaos", options);
+  const auto report = explore_schedules(runner, small_budget(8));
+  std::set<std::uint64_t> digests;
+  digests.insert(report.baseline.digest);
+  for (const auto& c : report.cases) digests.insert(c.digest);
+  EXPECT_GT(digests.size(), 1u) << format_report(report);
+}
+
+// The gate config: chaos fixture, seed 1, 6 ms gather deadline. Found by
+// sweep: reply arrivals land close enough to the deadline that slack-window
+// medium jitter flips which side a reply lands on, so the pre-qid mutant's
+// clock-reading acceptance diverges on over half the perturbed schedules.
+ExploreScenarioOptions mutation_gate_options(bool mutate) {
+  ExploreScenarioOptions options;
+  options.seed = 1;
+  options.chaos.worker_timeout_s = 0.006;
+  options.chaos.test_pre_qid_gather = mutate;
+  return options;
+}
+
+TEST(ExploreScenarios, MutationGateCatchesPreQidGather) {
+  const auto runner = make_explore_runner("chaos", mutation_gate_options(true));
+  const auto report = explore_schedules(runner, small_budget(16));
+  EXPECT_FALSE(report.passed())
+      << "the explorer failed to catch the pre-query-id gather mutant "
+         "within 16 schedules:\n"
+      << format_report(report);
+  bool divergence = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == "outcome-divergence") divergence = true;
+    EXPECT_NE(v.kind, "replay-divergence")
+        << "counterexample did not replay bit-exactly";
+  }
+  EXPECT_TRUE(divergence);
+}
+
+TEST(ExploreScenarios, MutationGateConfigPassesUnmutated) {
+  // The same fixture with the real (query-id-echo) gather must be clean —
+  // otherwise the gate above would "catch" noise, not the mutant.
+  const auto runner =
+      make_explore_runner("chaos", mutation_gate_options(false));
+  const auto report = explore_schedules(runner, small_budget(16));
+  EXPECT_TRUE(report.passed()) << format_report(report);
+}
+
+// ---- determinism gates (ctest -L determinism) ------------------------------
+
+TEST(ExploreDeterminism, ReportIsByteIdenticalAcrossRuns) {
+  ExploreScenarioOptions options;
+  options.num_queries = 6;
+  ExploreConfig config = small_budget(6);
+  config.repro_prefix = "schedule_explore --scenario=chaos --seed=123";
+  const auto runner = make_explore_runner("chaos", options);
+  const std::string first = format_report(explore_schedules(runner, config));
+  const std::string second = format_report(explore_schedules(runner, config));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ExploreDeterminism, ViolatingCaseReplaysBitIdentically) {
+  const auto runner = make_explore_runner("chaos", mutation_gate_options(true));
+  const auto report = explore_schedules(runner, small_budget(16));
+  ASSERT_FALSE(report.violations.empty());
+  const ScheduleCase c = report.violations[0].schedule;
+  const RunOutcome once = runner(c);
+  const RunOutcome twice = runner(c);
+  EXPECT_EQ(once.digest, twice.digest);
+  EXPECT_EQ(once.discrete, twice.discrete);
+  EXPECT_EQ(once.deadlocked, twice.deadlocked);
+  EXPECT_EQ(once.error, twice.error);
+}
+
+}  // namespace
+}  // namespace teamnet::sim::des

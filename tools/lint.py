@@ -33,11 +33,12 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
 
   wall-clock-in-sim  Wall-clock reads (std::chrono::*_clock::now) and real
                  sleeps (sleep_for / sleep_until) are forbidden in the
-                 virtual-time surfaces: src/sim/**, src/net/virtual_clock.*
-                 and bench/**. One wall-clock read in a scenario driver or
-                 bench silently breaks the bit-stability the determinism CI
-                 gate enforces; time must come from VirtualClock /
-                 des::Engine (or an injected time source).
+                 virtual-time surfaces: src/sim/** (including the sim/des
+                 engine), src/obs/**, src/net/virtual_clock.* and bench/**.
+                 One wall-clock read in a scenario driver, trace/metrics
+                 sink or bench silently breaks the bit-stability the
+                 determinism CI gate enforces; time must come from
+                 VirtualClock / des::Engine (or an injected time source).
 
   naked-recv     Bare blocking channel.recv() is forbidden in the protocol
                  layers (src/net/**, src/moe/**): a gather that blocks
@@ -45,6 +46,16 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  GatherDeadline::recv_from or recv_timeout so every wait is
                  bounded. Channel implementations themselves (transport.*,
                  fault.*, tcp.*) are exempt — they ARE recv.
+
+  unordered-iteration  std::unordered_map / std::unordered_set (and multi
+                 variants) are forbidden in the byte-stable serialization
+                 surfaces: src/obs/**, src/nn/serialize.* and
+                 bench/bench_common.*. Their iteration order is
+                 implementation- and seed-dependent, so one range-for over
+                 an unordered container in a JSON/trace/metrics writer
+                 silently breaks byte-identical output across runs and
+                 toolchains. Use std::map / std::set, or a vector sorted
+                 before emitting.
 
   no-raw-stdio   printf/fprintf/puts/std::cout/std::cerr are forbidden in
                  src/** outside the sanctioned sinks (common/logging.*,
@@ -58,9 +69,10 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
 Suppress a finding with `// lint:allow(<rule>)` on the offending line.
 
 Usage:
-  tools/lint.py              lint the whole tree
-  tools/lint.py FILE...      lint specific files (CI lints changed files)
-  tools/lint.py --self-test  prove each rule fires on a seeded violation
+  tools/lint.py                    lint the whole tree
+  tools/lint.py FILE...            lint specific files (CI lints changed files)
+  tools/lint.py --format github    emit GitHub Actions ::error annotations
+  tools/lint.py --self-test        prove each rule fires on a seeded violation
 """
 
 from __future__ import annotations
@@ -110,6 +122,11 @@ WALL_CLOCK_RE = re.compile(
 # escapes go through `// lint:allow(wall-clock-in-sim)` like every rule).
 WALL_CLOCK_ALLOWED: set[pathlib.Path] = set()
 
+# Unordered containers have implementation-defined iteration order; in the
+# byte-stable serialization surfaces that is a determinism bug waiting for a
+# range-for, so the containers themselves are banned there.
+UNORDERED_RE = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
+
 # Matches `.recv(` / `->recv(` but not recv_timeout / recv_from.
 NAKED_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(")
 NAKED_RECV_MODULES = {"net", "moe"}
@@ -136,12 +153,21 @@ class Finding:
     def __init__(self, path: pathlib.Path, line: int, rule: str, msg: str):
         self.path, self.line, self.rule, self.msg = path, line, rule, msg
 
-    def __str__(self) -> str:
+    def rel(self) -> pathlib.Path:
         try:
-            rel = self.path.relative_to(REPO)
+            return self.path.relative_to(REPO)
         except ValueError:
-            rel = self.path
-        return f"{rel}:{self.line}: [{self.rule}] {self.msg}"
+            return self.path
+
+    def __str__(self) -> str:
+        return f"{self.rel()}:{self.line}: [{self.rule}] {self.msg}"
+
+    def github(self) -> str:
+        # GitHub Actions workflow-command annotation: renders inline on the
+        # PR diff. Newlines inside the message would terminate the command,
+        # so flatten defensively.
+        msg = f"[{self.rule}] {self.msg}".replace("\n", " ")
+        return f"::error file={self.rel()},line={self.line}::{msg}"
 
 
 def stripped_lines(text: str) -> list[str]:
@@ -254,7 +280,7 @@ def in_wall_clock_scope(path: pathlib.Path) -> bool:
         rel = path.relative_to(SRC)
     except ValueError:
         return False
-    if rel.parts[0] == "sim":
+    if rel.parts[0] in {"sim", "obs"}:
         return True
     return rel.parts[0] == "net" and path.stem == "virtual_clock"
 
@@ -271,6 +297,34 @@ def check_wall_clock(path: pathlib.Path, code: list[str]) -> list[Finding]:
                 "breaks the bit-stability the determinism gate enforces — "
                 "take time from VirtualClock / des::Engine (or an injected "
                 "time source)"))
+    return findings
+
+
+def in_unordered_scope(path: pathlib.Path) -> bool:
+    if str(path).startswith(str(REPO / "bench")):
+        return path.stem == "bench_common"
+    try:
+        rel = path.relative_to(SRC)
+    except ValueError:
+        return False
+    if rel.parts[0] == "obs":
+        return True
+    return rel.parts[0] == "nn" and path.stem == "serialize"
+
+
+def check_unordered_iteration(path: pathlib.Path,
+                              code: list[str]) -> list[Finding]:
+    if not in_unordered_scope(path):
+        return []
+    findings = []
+    for i, line in enumerate(code, start=1):
+        if UNORDERED_RE.search(line):
+            findings.append(Finding(
+                path, i, "unordered-iteration",
+                "unordered container in a byte-stable serialization "
+                "surface; iteration order is implementation-defined and "
+                "breaks byte-identical JSON/trace output — use std::map/"
+                "std::set or sort before emitting"))
     return findings
 
 
@@ -313,8 +367,8 @@ def check_raw_stdio(path: pathlib.Path, code: list[str]) -> list[Finding]:
 
 
 CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
-          check_thread_detach, check_wall_clock, check_naked_recv,
-          check_raw_stdio]
+          check_thread_detach, check_wall_clock, check_unordered_iteration,
+          check_naked_recv, check_raw_stdio]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -408,6 +462,24 @@ def self_test() -> int:
          "auto raw = channel.recv();\n", False),  # net/moe-only rule
         ("naked-recv", REPO / "tests" / "seeded.cpp",
          "auto raw = channel.recv();\n", False),  # src-only rule
+        ("wall-clock-in-sim", SRC / "obs" / "seeded.cpp",
+         "const auto now = std::chrono::steady_clock::now();\n", True),
+        ("wall-clock-in-sim", SRC / "sim" / "des" / "seeded.cpp",
+         "const double t = engine.node_time(node);\n", False),
+        ("unordered-iteration", SRC / "obs" / "seeded.cpp",
+         "std::unordered_map<std::string, Counter> counters_;\n", True),
+        ("unordered-iteration", SRC / "nn" / "serialize.cpp",
+         "std::unordered_set<std::string> seen;\n", True),
+        ("unordered-iteration", REPO / "bench" / "bench_common.cpp",
+         "std::unordered_map<std::string, double> cells;\n", True),
+        ("unordered-iteration", SRC / "obs" / "seeded.cpp",
+         "std::map<std::string, Counter> counters_;\n", False),
+        ("unordered-iteration", SRC / "net" / "seeded.cpp",
+         "std::unordered_map<int, int> routes;\n", False),  # out of scope
+        ("unordered-iteration", SRC / "nn" / "mlp.cpp",
+         "std::unordered_map<int, int> cache;\n", False),  # serialize.* only
+        ("unordered-iteration", REPO / "bench" / "seeded.cpp",
+         "std::unordered_set<int> ids;\n", False),  # bench_common.* only
         ("no-raw-stdio", SRC / "net" / "seeded.cpp",
          'std::printf("gather done\\n");\n', True),
         ("no-raw-stdio", SRC / "core" / "seeded.cpp",
@@ -452,6 +524,10 @@ def main() -> int:
                         help="files to lint (default: all of src/)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify each rule catches a seeded violation")
+    parser.add_argument("--format", choices=["plain", "github"],
+                        default="plain",
+                        help="finding output format: plain (default) or "
+                             "GitHub Actions ::error annotations")
     args = parser.parse_args()
 
     if args.self_test:
@@ -463,7 +539,7 @@ def main() -> int:
     for path in targets:
         findings.extend(lint_file(path))
     for f in findings:
-        print(f)
+        print(f.github() if args.format == "github" else f)
     if findings:
         print(f"tools/lint.py: {len(findings)} violation(s)", file=sys.stderr)
         return 1
