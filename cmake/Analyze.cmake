@@ -1,0 +1,28 @@
+# Convenience targets for the whole-program static analyzer
+# (tools/analyze.py, DESIGN.md §12). The default lexical frontend needs
+# only python3; the optional clang frontend additionally needs the
+# python3-clang bindings plus libclang, and reads the
+# compile_commands.json this project always exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists).
+#
+#   cmake --build build --target analyze                 # gate: 0 new findings
+#   cmake --build build --target analyze-write-baseline  # intentional refresh
+#
+# The same checks run in ctest as analyze.self_test / analyze.repo_clean /
+# analyze.baseline_current (tests/CMakeLists.txt) and as CI's `analyze`
+# job, so these targets are for local iteration, not the only gate.
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(Python3_FOUND)
+  add_custom_target(analyze
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/analyze.py
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "analyze.py: lock-order / block-under-lock / hot-alloc audit"
+    VERBATIM)
+  add_custom_target(analyze-write-baseline
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/analyze.py
+            --write-baseline
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "analyze.py: refreshing tools/analyze_baseline.json"
+    VERBATIM)
+endif()

@@ -35,9 +35,13 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    // Build the type-erased wrapper before taking the lock: the
+    // std::function construction allocates, and the queue mutex is on the
+    // submission fast path (allocation-under-lock, tools/analyze.py).
+    std::function<void()> wrapped = [task] { (*task)(); };
     {
       MutexLock lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(std::move(wrapped));
     }
     cv_.notify_one();
     return future;

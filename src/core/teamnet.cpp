@@ -20,6 +20,7 @@ TeamNetEnsemble::TeamNetEnsemble(std::vector<nn::ModulePtr> experts)
   }
 }
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 TeamNetEnsemble::InferenceResult TeamNetEnsemble::infer(const Tensor& x,
                                                         SelectionRule rule) {
   const std::int64_t n = x.dim(0);

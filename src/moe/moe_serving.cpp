@@ -23,6 +23,7 @@ void MoeMaster::set_time_source(net::TimeSource now) {
   now_ = now ? std::move(now) : net::TimeSource(&net::steady_seconds);
 }
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 MoeMaster::Result MoeMaster::infer(const Tensor& x) {
   const std::int64_t n = x.dim(0);
   const std::int64_t qid = ++query_seq_;

@@ -55,7 +55,7 @@ std::optional<std::string> GatherDeadline::recv_from(Channel& channel) const {
   if (unbounded_) {
     // The deliberate blocking fallback: no budget was configured, so the
     // gather keeps the original block-forever semantics.
-    return channel.recv();  // lint:allow(naked-recv)
+    return channel.recv();
   }
   return channel.recv_timeout(remaining());
 }
@@ -65,12 +65,13 @@ CollaborativeWorker::CollaborativeWorker(nn::Module& expert, Channel& channel)
   expert_.set_training(false);
 }
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 void CollaborativeWorker::serve() {
   for (;;) {
     // Worker side: blocking on the master is the serving contract; the
     // deadline discipline (lint rule naked-recv) exists for master-side
     // gathers, where one slow peer must not starve the rest.
-    std::string raw = channel_.recv();  // lint:allow(naked-recv)
+    std::string raw = channel_.recv();
     Message request;
     try {
       request = Message::decode(raw);
@@ -225,6 +226,7 @@ void CollaborativeMaster::probe_failed_workers() {
   }
 }
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   TEAMNET_CHECK(x.rank() >= 2);
   const std::int64_t n = x.dim(0);

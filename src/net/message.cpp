@@ -8,6 +8,7 @@
 
 namespace teamnet::net {
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 std::string Message::encode() const {
   std::string out;
   out.reserve(static_cast<std::size_t>(encoded_size()));
@@ -23,6 +24,7 @@ std::string Message::encode() const {
   return out;
 }
 
+// analyze:hot  (per-query path: hot-path allocation audit root)
 Message Message::decode(const std::string& bytes) {
   Message msg;
   std::size_t offset = 0;

@@ -1,0 +1,25 @@
+// Fixture for analyze.py --self-test: the hot-path allocation pass.
+//
+// hot_entry is a marked hot root: its own new-expression and the
+// container growth inside hot_helper (reached through the call graph)
+// must both be reported. cold_path allocates too but is unreachable from
+// any root and must stay silent.
+#include "fixture_prelude.hpp"
+
+struct Batch {
+  std::vector<int> items_;
+  void hot_helper(int v) {
+    items_.push_back(v);
+  }
+};
+
+// analyze:hot
+int* hot_entry(Batch& b) {
+  b.hot_helper(1);
+  return new int[16];
+}
+
+void cold_path() {
+  int* p = new int[4];
+  delete[] p;
+}

@@ -1,0 +1,34 @@
+#pragma once
+// Mock of the src/common/annotations.hpp lock funnel plus a channel, so
+// the fixtures are self-contained translation units for the clang
+// frontend. The lexical frontend parses each fixture standalone (includes
+// are blanked with the rest of the preprocessor lines) and never reads
+// this header, which is also why it is not itself a fixture.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+
+class MutexPairLock {
+ public:
+  MutexPairLock(Mutex&, Mutex&) {}
+};
+
+class CondVar {
+ public:
+  void wait(Mutex&) {}
+  void notify_all() {}
+};
+
+class Channel {
+ public:
+  std::string recv() { return {}; }
+  void send(const std::string&) {}
+};

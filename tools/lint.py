@@ -40,12 +40,14 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
                  determinism CI gate enforces; time must come from
                  VirtualClock / des::Engine (or an injected time source).
 
-  naked-recv     Bare blocking channel.recv() is forbidden in the protocol
-                 layers (src/net/**, src/moe/**): a gather that blocks
-                 forever on one dead peer wedges the whole query. Use
-                 GatherDeadline::recv_from or recv_timeout so every wait is
-                 bounded. Channel implementations themselves (transport.*,
-                 fault.*, tcp.*) are exempt — they ARE recv.
+  (retired) naked-recv — the token-level bare-recv() rule moved to the
+                 deep tier: tools/analyze.py's `unbounded-wait` pass flags
+                 the same direct recv()/pop() sites AST-aware (immune to
+                 comments/strings, knows the _timeout variants), and its
+                 interprocedural `block-under-lock` pass covers the wrapper
+                 blind spots a line regex never could. lint.py stays the
+                 fast pre-commit tier (token rules, no build needed);
+                 analyze.py is the whole-program tier (DESIGN.md §12).
 
   unordered-iteration  std::unordered_map / std::unordered_set (and multi
                  variants) are forbidden in the byte-stable serialization
@@ -128,9 +130,6 @@ WALL_CLOCK_ALLOWED: set[pathlib.Path] = set()
 UNORDERED_RE = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
 
 # Matches `.recv(` / `->recv(` but not recv_timeout / recv_from.
-NAKED_RECV_RE = re.compile(r"(?:\.|->)\s*recv\s*\(")
-NAKED_RECV_MODULES = {"net", "moe"}
-NAKED_RECV_EXEMPT_STEMS = {"transport", "fault", "tcp"}
 
 # Stream-writing stdio only; snprintf/sscanf (string formatting) are fine.
 RAW_STDIO_RE = re.compile(
@@ -328,26 +327,6 @@ def check_unordered_iteration(path: pathlib.Path,
     return findings
 
 
-def check_naked_recv(path: pathlib.Path, code: list[str]) -> list[Finding]:
-    try:
-        rel = path.relative_to(SRC)
-    except ValueError:
-        return []
-    if rel.parts[0] not in NAKED_RECV_MODULES:
-        return []
-    if path.stem in NAKED_RECV_EXEMPT_STEMS:
-        return []
-    findings = []
-    for i, line in enumerate(code, start=1):
-        if NAKED_RECV_RE.search(line):
-            findings.append(Finding(
-                path, i, "naked-recv",
-                "bare blocking recv() in a protocol layer; one dead peer "
-                "wedges the gather — use GatherDeadline::recv_from or "
-                "recv_timeout so the wait is bounded"))
-    return findings
-
-
 def check_raw_stdio(path: pathlib.Path, code: list[str]) -> list[Finding]:
     try:
         rel = path.relative_to(SRC)
@@ -368,7 +347,7 @@ def check_raw_stdio(path: pathlib.Path, code: list[str]) -> list[Finding]:
 
 CHECKS = [check_raw_cast, check_module_deps, check_errno, check_raw_mutex,
           check_thread_detach, check_wall_clock, check_unordered_iteration,
-          check_naked_recv, check_raw_stdio]
+          check_raw_stdio]
 
 
 def lint_file(path: pathlib.Path) -> list[Finding]:
@@ -448,22 +427,6 @@ def self_test() -> int:
         ("wall-clock-in-sim", REPO / "tests" / "seeded.cpp",
          "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n",
          False),  # tests are out of scope
-        ("naked-recv", SRC / "net" / "seeded.cpp",
-         "Message reply = Message::decode(channel.recv());\n", True),
-        ("naked-recv", SRC / "moe" / "seeded.cpp",
-         "auto raw = workers_[w]->recv();\n", True),
-        ("naked-recv", SRC / "net" / "seeded.cpp",
-         "auto raw = channel.recv_timeout(remaining);\n", False),
-        ("naked-recv", SRC / "net" / "seeded.cpp",
-         "auto raw = deadline.recv_from(*workers_[w]);\n", False),
-        ("naked-recv", SRC / "net" / "transport.cpp",
-         "return queue_->recv();\n", False),  # channel impls are exempt
-        ("naked-recv", SRC / "mpi" / "seeded.cpp",
-         "auto raw = channel.recv();\n", False),  # net/moe-only rule
-        ("naked-recv", REPO / "tests" / "seeded.cpp",
-         "auto raw = channel.recv();\n", False),  # src-only rule
-        ("wall-clock-in-sim", SRC / "obs" / "seeded.cpp",
-         "const auto now = std::chrono::steady_clock::now();\n", True),
         ("wall-clock-in-sim", SRC / "sim" / "des" / "seeded.cpp",
          "const double t = engine.node_time(node);\n", False),
         ("unordered-iteration", SRC / "obs" / "seeded.cpp",
