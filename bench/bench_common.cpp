@@ -533,7 +533,14 @@ JsonReport::JsonReport(const Options& opts, std::string experiment)
 void JsonReport::add(const std::string& label,
                      const sim::ScenarioResult& result) {
   if (path_.empty()) return;
-  rows_.push_back({label, result});
+  rows_.push_back({label, result, {}});
+}
+
+void JsonReport::add(const std::string& label,
+                     const sim::ScenarioResult& result,
+                     std::vector<std::pair<std::string, double>> extras) {
+  if (path_.empty()) return;
+  rows_.push_back({label, result, std::move(extras)});
 }
 
 void JsonReport::add_convergence(const std::string& label,
@@ -562,8 +569,12 @@ void JsonReport::write() const {
        << "\"latency_ms\": " << json_number(r.latency_ms) << ", "
        << "\"accuracy_pct\": " << json_number(r.accuracy_pct) << ", "
        << "\"bytes_per_query\": " << json_number(r.bytes_per_query) << ", "
-       << "\"messages_per_query\": " << json_number(r.messages_per_query)
-       << "}";
+       << "\"messages_per_query\": " << json_number(r.messages_per_query);
+    for (const auto& extra : row.extras) {
+      os << ", \"" << json_escape(extra.first)
+         << "\": " << json_number(extra.second);
+    }
+    os << "}";
   }
   os << "\n  ]";
   if (!convergence_.empty()) {

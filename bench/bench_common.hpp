@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/teamnet.hpp"
@@ -71,6 +72,12 @@ class JsonReport {
  public:
   JsonReport(const Options& opts, std::string experiment);
   void add(const std::string& label, const sim::ScenarioResult& result);
+  /// Same row, plus bench-specific numeric fields appended to the JSON
+  /// object (e.g. the resilience sweep's p50/p99 and degradation-mix
+  /// counters). Keys must be valid JSON identifiers; values are emitted
+  /// with the same %.17g rule as the standard columns.
+  void add(const std::string& label, const sim::ScenarioResult& result,
+           std::vector<std::pair<std::string, double>> extras);
   /// Attaches the full per-iteration convergence series (gamma-bar per
   /// expert, gate objective, inner-loop iterations) for one trained team.
   /// The figure benches use this so --json carries the exact curves the
@@ -87,6 +94,7 @@ class JsonReport {
   struct Row {
     std::string label;
     sim::ScenarioResult result;
+    std::vector<std::pair<std::string, double>> extras;
   };
   std::vector<Row> rows_;
   struct ConvergenceRow {

@@ -82,6 +82,27 @@ void gen_message(const std::filesystem::path& dir) {
   add(base + std::string(7, '\x7f'));                           // trailing junk
   add(std::string(48, '\xee'));                                 // pure garbage
   add(std::string("TNET????????"));                             // wrong format
+  // Deadline-budget Infer frames (DESIGN.md §13): qid + absolute deadline
+  // stamp + flags, so the fuzzer mutates outward from the degradation
+  // plane's current dispatch layout, not just the legacy 1-int frame.
+  const auto infer_frame = [](std::int64_t qid, std::int64_t deadline_us,
+                              bool hedged, std::uint64_t seed) {
+    Rng rng(seed);
+    teamnet::net::Message msg;
+    msg.type = MsgType::Infer;
+    teamnet::net::InferInfo info;
+    info.qid = qid;
+    info.deadline_us = deadline_us;
+    info.hedged = hedged;
+    teamnet::net::set_infer_info(msg, info);
+    msg.tensors = {Tensor::randn({1, 8}, rng)};
+    return msg.encode();
+  };
+  add(infer_frame(3, 1'000'000, false, 12));                    // live budget
+  add(infer_frame(4, teamnet::net::kNoDeadlineUs, true, 13));   // hedged, unbounded
+  add(infer_frame(9'000'000'000'000LL,
+                  std::numeric_limits<std::int64_t>::max(), true, 14));
+  add(corrupt(infer_frame(5, 777, false, 15), 12, 0xFF));       // mangled stamp
   std::printf("message_decode: %d seeds\n", n);
 }
 

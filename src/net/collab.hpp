@@ -15,12 +15,22 @@
 // across all workers, and a failed worker sits in probation — probed with
 // Ping/Pong on an exponential-backoff cadence — until it answers and
 // rejoins the live set.
+//
+// Degradation plane (DESIGN.md §13): the Infer frame propagates the
+// query's absolute deadline so workers drop expired requests instead of
+// computing stale replies; the gather can complete at a quorum Q <= K of
+// answers (argmin over what arrived, the local expert always counted); a
+// per-worker circuit breaker (net/health.hpp) removes flapping workers
+// from dispatch; and a hedged re-issue covers the slowest outstanding
+// worker with its designated backup replica.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "net/health.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
 #include "nn/module.hpp"
@@ -28,14 +38,6 @@
 namespace teamnet::net {
 
 using ComputeHook = std::function<void(std::int64_t flops)>;
-
-/// Monotonic time source in seconds, used for deadline accounting. The
-/// default reads std::chrono::steady_clock; simulations may substitute the
-/// virtual clock so gather deadlines are measured in simulated time.
-using TimeSource = std::function<double()>;
-
-/// Seconds since an arbitrary epoch on the steady (monotonic) clock.
-double steady_seconds();
 
 /// One shared receive budget for a whole gather loop: however many workers
 /// are slow or dead, the total wait is bounded by a single `budget_s`
@@ -51,9 +53,18 @@ class GatherDeadline {
   GatherDeadline(double budget_s, const TimeSource& now);
 
   bool unbounded() const { return unbounded_; }
-  /// Seconds left before the deadline; 0 once expired. Only meaningful for
-  /// bounded deadlines.
+  /// Whether a bounded budget has run out. Always false when unbounded —
+  /// the explicit query for what `remaining() == 0` used to ambiguously
+  /// mean (an unbounded deadline also read 0 through the double-comparison
+  /// footgun of callers testing `remaining() <= 0`).
+  bool expired() const;
+  /// Seconds left before the deadline; 0 once expired, +infinity when
+  /// unbounded.
   double remaining() const;
+  /// The absolute expiry in microseconds on the time source's clock —
+  /// what an Infer frame propagates (InferInfo::deadline_us).
+  /// kNoDeadlineUs when unbounded.
+  std::int64_t deadline_us() const;
   /// Receives from `channel`, bounded by remaining() (blocking when
   /// unbounded). nullopt = deadline expired with no message.
   std::optional<std::string> recv_from(Channel& channel) const;
@@ -77,18 +88,44 @@ class CollaborativeWorker {
 
   void set_compute_hook(ComputeHook hook) { on_compute_ = std::move(hook); }
 
+  /// SLO discipline (DESIGN.md §13): when enabled, an Infer whose
+  /// propagated deadline (InferInfo::deadline_us) has already passed on
+  /// this worker's clock is dropped without computing or replying — the
+  /// master stopped listening for it, so the reply could only ever be
+  /// discarded as stale. Off by default because the check compares the
+  /// frame's stamp against set_time_source's clock: it is only meaningful
+  /// when worker and master share a clock domain (in-process, or the same
+  /// simulation), which the caller asserts by opting in.
+  void set_drop_expired(bool enabled) { drop_expired_ = enabled; }
+  /// Clock used for the expiry check (default: steady_seconds; simulations
+  /// pass this node's virtual clock).
+  void set_time_source(TimeSource now);
+
   /// Number of Infer requests answered (telemetry).
   std::int64_t requests_served() const { return served_; }
   /// Number of probation Pings answered (telemetry).
   std::int64_t pongs_sent() const { return pongs_; }
+  /// Infer requests dropped because their deadline had already expired.
+  std::int64_t expired_dropped() const { return expired_dropped_; }
 
  private:
   nn::Module& expert_;
   Channel& channel_;
   ComputeHook on_compute_;
+  TimeSource now_;
+  bool drop_expired_ = false;
   std::int64_t served_ = 0;
   std::int64_t pongs_ = 0;
+  std::int64_t expired_dropped_ = 0;
 };
+
+/// How much of the fleet answered a query before the gather completed
+/// (DESIGN.md §13): `full` = every asked worker, `quorum` = the configured
+/// quorum but not everyone, `local_only` = nobody but the master's own
+/// expert.
+enum class DegradationLevel { full = 0, quorum = 1, local_only = 2 };
+
+const char* to_string(DegradationLevel level);
 
 /// The master edge node: owns a local expert plus channels to the workers.
 class CollaborativeMaster {
@@ -99,6 +136,8 @@ class CollaborativeMaster {
     Tensor probs;                  ///< [n, C] winning expert's probabilities
     std::vector<int> predictions;  ///< argmax class per sample
     std::vector<int> chosen;       ///< winning node (0 = master, 1.. = workers)
+    int answered = 1;              ///< experts in the argmin (local included)
+    DegradationLevel degradation = DegradationLevel::full;
   };
 
   /// Runs Figure 1's five steps for a batch of inputs. Workers that have
@@ -130,6 +169,36 @@ class CollaborativeMaster {
   /// steady_seconds). Simulations pass virtual-clock time here.
   void set_time_source(TimeSource now);
 
+  /// Quorum gather (DESIGN.md §13): when `answers` > 0, a gather completes
+  /// as soon as that many answers are in — the local expert always counts
+  /// as one — and the argmin runs over what arrived. Workers still
+  /// outstanding at quorum are NOT marked failed: their late replies are
+  /// discarded as stale on the next query, and the deadline/probation
+  /// machinery handles genuinely dead ones. 0 (default) = wait for every
+  /// asked worker (the original full gather). Values above 1 + #workers
+  /// clamp to a full gather.
+  void set_gather_quorum(int answers);
+
+  /// Per-worker health scoring + circuit breaker (net/health.hpp): an open
+  /// breaker puts the worker in probation (skipped at broadcast, probed via
+  /// Ping/Pong) and an answered probe readmits it only after the breaker's
+  /// cooldown. Uses the master's time source — call after set_time_source.
+  void enable_health(const HealthConfig& config);
+  /// The tracker enabled by enable_health (nullptr before).
+  const HealthTracker* health() const { return health_.get(); }
+
+  /// Hedged dispatch (DESIGN.md §13): `backups[w]` is the channel to the
+  /// static backup replica serving worker w's expert (nullptr = worker w
+  /// has no backup). Once per query, after an adaptive delay — max of
+  /// `min_delay_s` and `latency_factor` × the health EWMA of the slowest
+  /// outstanding worker (worker_timeout_s/2 without health) — the query is
+  /// re-issued to that worker's backup with the hedge flag set; whichever
+  /// replica answers first wins and the duplicate is reconciled via the
+  /// query-id echo. Requires a bounded worker timeout or a quorum so the
+  /// gather runs the polling loop.
+  void set_hedging(std::vector<Channel*> backups, double min_delay_s,
+                   double latency_factor);
+
   int num_nodes() const { return 1 + static_cast<int>(workers_.size()); }
   /// Workers currently marked failed (in probation).
   int failed_workers() const;
@@ -140,6 +209,17 @@ class CollaborativeMaster {
   /// Replies discarded because their query id did not match the in-flight
   /// query (late answers from timed-out workers, injected duplicates).
   std::int64_t stale_replies_discarded() const { return stale_discarded_; }
+
+  /// Degradation-level accounting: the three counters partition the
+  /// queries served so far (full + quorum + local_only == queries).
+  std::int64_t full_gathers() const { return full_gathers_; }
+  std::int64_t quorum_gathers() const { return quorum_gathers_; }
+  std::int64_t local_only_gathers() const { return local_only_gathers_; }
+  /// Hedged re-issues sent / won (the backup's reply was the one used) /
+  /// reconciled duplicates (both replicas answered the same query).
+  std::int64_t hedges_sent() const { return hedges_sent_; }
+  std::int64_t hedge_wins() const { return hedge_wins_; }
+  std::int64_t hedge_duplicates() const { return hedge_duplicates_; }
 
   /// TEST-ONLY: re-introduces the pre-PR-3 gather, which had no query-id
   /// echo. Its only stale-reply defense was the deadline clock reading:
@@ -171,6 +251,9 @@ class CollaborativeMaster {
   /// Polls probation workers for Pongs (rejoining the ones that answered)
   /// and sends fresh Pings on the backoff cadence.
   void probe_failed_workers();
+  /// Whether the quorum/hedge polling gather replaces the sequential
+  /// full gather for this query.
+  bool polling_gather() const { return quorum_ > 0 || !backups_.empty(); }
 
   nn::Module& expert_;
   std::vector<Channel*> workers_;
@@ -179,10 +262,21 @@ class CollaborativeMaster {
   int probe_interval_ = 4;
   TimeSource now_;
   ComputeHook on_compute_;
+  int quorum_ = 0;  ///< 0 = full gather
+  std::unique_ptr<HealthTracker> health_;
+  std::vector<Channel*> backups_;  ///< empty = hedging disabled
+  double hedge_min_delay_s_ = 0.0;
+  double hedge_factor_ = 1.5;
   std::int64_t query_seq_ = 0;
   std::int64_t probe_seq_ = 0;
   std::int64_t stale_discarded_ = 0;
   std::int64_t rejoins_ = 0;
+  std::int64_t full_gathers_ = 0;
+  std::int64_t quorum_gathers_ = 0;
+  std::int64_t local_only_gathers_ = 0;
+  std::int64_t hedges_sent_ = 0;
+  std::int64_t hedge_wins_ = 0;
+  std::int64_t hedge_duplicates_ = 0;
   bool test_pre_qid_gather_ = false;  ///< test-only mutation hook
 };
 

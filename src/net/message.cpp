@@ -44,6 +44,19 @@ Message Message::decode(const std::string& bytes) {
   return msg;
 }
 
+InferInfo infer_info(const Message& msg) {
+  InferInfo info;
+  if (!msg.ints.empty()) info.qid = msg.ints[0];
+  if (msg.ints.size() > 1 && msg.ints[1] >= 0) info.deadline_us = msg.ints[1];
+  if (msg.ints.size() > 2) info.hedged = (msg.ints[2] & kHedgedFlag) != 0;
+  return info;
+}
+
+void set_infer_info(Message& msg, const InferInfo& info) {
+  msg.ints = {info.qid, info.deadline_us,
+              info.hedged ? kHedgedFlag : std::int64_t{0}};
+}
+
 std::int64_t Message::encoded_size() const {
   std::int64_t size = 4 + 4 + 4;  // type + two counts
   size += static_cast<std::int64_t>(ints.size()) * 8;

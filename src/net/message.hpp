@@ -24,6 +24,21 @@ namespace teamnet::net {
 /// does not match the in-flight query, so a late reply from a timed-out
 /// worker — or an injected duplicate — can never be consumed as the answer
 /// to a later query.
+///
+/// Deadline budget (DESIGN.md §13): an `Infer` may carry two more ints
+/// after the query id —
+///   ints[1] = the query's absolute deadline in microseconds on the
+///             sender's monotonic clock (kNoDeadlineUs = unbounded). An
+///             absolute stamp survives queueing: a worker that dequeues the
+///             frame late sees it already expired, which a re-anchored
+///             relative budget would hide. It is comparable on the worker
+///             because the clock domain is shared in-process and
+///             Lamport-synced under simulation (a receive never lands
+///             before its send left the sender's clock).
+///   ints[2] = dispatch flags (bit kHedgedFlag: this frame is a hedged
+///             re-issue to a backup replica).
+/// Decoding is tolerant: legacy one-int frames read as unbounded/unhedged,
+/// so the extension is backward compatible on the wire.
 enum class MsgType : std::uint32_t {
   Infer = 1,       ///< master -> worker: input tensor broadcast (Step 2)
   Result = 2,      ///< worker -> master: probs + entropy (Step 4)
@@ -46,5 +61,25 @@ struct Message {
   /// Serialized size in bytes without materializing the string.
   std::int64_t encoded_size() const;
 };
+
+/// `Infer` ints[1] value meaning "no deadline": the gather is unbounded.
+inline constexpr std::int64_t kNoDeadlineUs = -1;
+/// `Infer` ints[2] flag bit: the frame is a hedged re-issue to a backup.
+inline constexpr std::int64_t kHedgedFlag = 1;
+
+/// Decoded view of an Infer frame's ints (layout documented on MsgType).
+struct InferInfo {
+  std::int64_t qid = -1;
+  std::int64_t deadline_us = kNoDeadlineUs;  ///< absolute, sender's clock
+  bool hedged = false;
+};
+
+/// Tolerant read of `msg.ints` in the Infer layout: missing or negative
+/// fields fall back to the defaults (qid -1, unbounded, unhedged), so
+/// legacy and fuzzed frames stay servable.
+InferInfo infer_info(const Message& msg);
+
+/// Writes `info` into `msg.ints` in the Infer layout (always three ints).
+void set_infer_info(Message& msg, const InferInfo& info);
 
 }  // namespace teamnet::net

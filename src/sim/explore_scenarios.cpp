@@ -93,9 +93,21 @@ ChaosConfig ExploreScenarioOptions::default_explore_chaos() {
   return chaos;
 }
 
+ResilienceConfig ExploreScenarioOptions::default_explore_resilience() {
+  ResilienceConfig res;
+  res.faults.drop_prob = 0.2;
+  res.faults.duplicate_prob = 0.15;
+  res.worker_timeout_s = 0.25;
+  res.probe_interval = 2;
+  res.quorum = 2;  // master + one worker completes the gather
+  res.hedging = true;
+  res.hedge_min_delay_s = 0.002;
+  return res;
+}
+
 const std::vector<std::string>& explore_scenario_names() {
   static const std::vector<std::string> names = {"teamnet", "mpi", "sg-moe",
-                                                 "chaos"};
+                                                 "chaos", "resilience"};
   return names;
 }
 
@@ -124,6 +136,33 @@ std::string discrete_bytes(const ChaosResult& result) {
       << "\nrejoins=" << result.rejoins
       << "\nfaults_injected=" << result.faults_injected
       << "\nfault_schedule=" << result.fault_schedule << "\n";
+  return out.str();
+}
+
+std::string discrete_bytes(const ResilienceResult& result) {
+  const std::size_t n = result.degradation.size();
+  const bool accounted =
+      result.full_gathers + result.quorum_gathers + result.local_only_gathers ==
+      static_cast<std::int64_t>(n);
+  const bool vectors_complete =
+      result.latency_ms.size() == n && result.correct.size() == n;
+  const bool hedges_bounded = result.hedge_wins <= result.hedges_sent &&
+                              result.hedge_duplicates <= result.hedges_sent;
+  const bool non_negative =
+      result.full_gathers >= 0 && result.quorum_gathers >= 0 &&
+      result.local_only_gathers >= 0 && result.hedges_sent >= 0 &&
+      result.hedge_wins >= 0 && result.hedge_duplicates >= 0 &&
+      result.breaker_opens >= 0 && result.rejoins >= 0 &&
+      result.stale_replies >= 0 && result.expired_drops >= 0 &&
+      result.faults_injected >= 0;
+  std::ostringstream out;
+  out << "approach=" << result.scenario.approach << "\n"
+      << "num_nodes=" << result.scenario.num_nodes << "\n"
+      << "num_queries=" << n << "\n"
+      << "degradation_accounted=" << (accounted ? 1 : 0) << "\n"
+      << "vectors_complete=" << (vectors_complete ? 1 : 0) << "\n"
+      << "hedges_bounded=" << (hedges_bounded ? 1 : 0) << "\n"
+      << "counters_non_negative=" << (non_negative ? 1 : 0) << "\n";
   return out.str();
 }
 
@@ -196,8 +235,22 @@ des::ScheduleRunner make_explore_runner(const std::string& scenario,
       });
     };
   }
+  if (scenario == "resilience") {
+    auto fixture = std::make_shared<TeamNetFixture>();
+    ResilienceConfig res = options.resilience;
+    res.faults.seed = options.seed;
+    return [fixture, options, res](const des::ScheduleCase& c) {
+      return guarded_run([&](des::RunOutcome& out) {
+        const auto result =
+            run_teamnet_resilience(fixture->expert_ptrs(), fixture->test,
+                                   scenario_config(options, c), res);
+        out.discrete = discrete_bytes(result);
+        out.digest = result.scenario.schedule_digest;
+      });
+    };
+  }
   throw InvalidArgument("unknown explore scenario: " + scenario +
-                        " (expected teamnet|mpi|sg-moe|chaos)");
+                        " (expected teamnet|mpi|sg-moe|chaos|resilience)");
 }
 
 }  // namespace teamnet::sim

@@ -41,15 +41,21 @@ struct ExploreScenarioOptions {
   /// overridden by `seed` so one knob sweeps the whole fixture. Flip
   /// chaos.test_pre_qid_gather to arm the mutation gate.
   ChaosConfig chaos = default_explore_chaos();
+  /// Resilience-scenario tuning (degradation plane; same seed override).
+  ResilienceConfig resilience = default_explore_resilience();
 
   /// The chaos fault model the explorer runs by default: drops, corruption,
   /// duplicates, plus a scripted partition/heal of worker 0 — the mix that
   /// exercises every stale-reply and rejoin path.
   static ChaosConfig default_explore_chaos();
+  /// The default resilience fixture: drops + duplicates with quorum gather,
+  /// hedging and the circuit breaker all enabled — the full degradation
+  /// plane under schedule perturbation.
+  static ResilienceConfig default_explore_resilience();
 };
 
 /// Names accepted by make_explore_runner: "teamnet", "mpi", "sg-moe",
-/// "chaos".
+/// "chaos", "resilience".
 const std::vector<std::string>& explore_scenario_names();
 
 /// Builds the fixture for `scenario` ONCE (models are trained/seeded up
@@ -63,5 +69,14 @@ des::ScheduleRunner make_explore_runner(const std::string& scenario,
 /// (exposed for tests; make_explore_runner uses these internally).
 std::string discrete_bytes(const ScenarioResult& result);
 std::string discrete_bytes(const ChaosResult& result);
+/// The resilience scenario's outcomes are mostly schedule-DEPENDENT by
+/// design — which Q replies form the quorum, whether a hedge fires, and
+/// therefore accuracy, traffic and even the fault draws all legally vary
+/// across interleavings. What must hold on EVERY legal schedule is the
+/// protocol's accounting: the degradation counters partition the queries,
+/// per-query vectors are complete, hedge wins/duplicates never exceed
+/// hedges sent, and every counter is non-negative. Only those invariants
+/// are serialized.
+std::string discrete_bytes(const ResilienceResult& result);
 
 }  // namespace teamnet::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "common/annotations.hpp"
@@ -346,6 +347,178 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
 
   result.scenario.approach = "TeamNet-Chaos";
   result.scenario.num_nodes = k;
+  result.scenario.latency_ms = 1e3 * total_latency / config.num_queries;
+  result.scenario.accuracy_pct = 100.0 * static_cast<double>(n_correct) /
+                                 static_cast<double>(queries.size());
+  result.scenario.usage = estimate_resources(
+      config.device,
+      model_working_set_bytes(*experts[0], test.sample_shape()),
+      total_latency > 0.0 ? master_compute.load() / total_latency : 0.0);
+  result.scenario.bytes_per_query =
+      static_cast<double>(bytes_used) / config.num_queries;
+  result.scenario.messages_per_query =
+      static_cast<double>(msgs_used) / config.num_queries;
+  return result;
+}
+
+namespace {
+
+/// Nearest-rank percentile (pct in (0, 100]); sorts a copy.
+double percentile_ms(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return values[std::min(rank, n) - 1];
+}
+
+}  // namespace
+
+ResilienceResult run_teamnet_resilience(const std::vector<nn::Module*>& experts,
+                                        const data::Dataset& test,
+                                        const ScenarioConfig& config,
+                                        const ResilienceConfig& res) {
+  TEAMNET_CHECK(experts.size() >= 2);
+  const int k = static_cast<int>(experts.size());
+  // Node map: master 0, primary workers 1..k-1; with hedging, node k-1+i is
+  // the backup replica serving worker i's expert (nodes k..2k-2).
+  const int num_nodes = res.hedging ? 2 * k - 1 : k;
+  obs::Tracer::instance().begin_epoch("teamnet-resilience");
+  auto net = make_sim_net(config.scheduler, num_nodes, config.link,
+                          net_options(config));
+  SimNet* netp = net.get();
+
+  std::atomic<double> master_compute{0.0};
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<net::CollaborativeWorker>> workers;
+  // Every serving node (primary or backup) reads its own virtual clock, so
+  // the propagated deadline stamps compare against the same time base the
+  // master wrote them in (Lamport-synced on delivery).
+  auto spawn_serving = [&](int node, int expert) {
+    workers.push_back(std::make_unique<net::CollaborativeWorker>(
+        *experts[static_cast<std::size_t>(expert)], net->channel(node, 0)));
+    auto* w = workers.back().get();
+    w->set_compute_hook(make_hook(*net, node, config.device, nullptr));
+    w->set_time_source([netp, node] { return netp->node_time(node); });
+    w->set_drop_expired(res.drop_expired);
+    threads.push_back(spawn_worker(*net, node, [w] { w->serve(); }));
+  };
+  for (int i = 1; i < k; ++i) spawn_serving(i, i);
+  if (res.hedging) {
+    for (int i = 1; i < k; ++i) spawn_serving(k - 1 + i, i);
+  }
+
+  // Same fault plumbing as run_teamnet_chaos, extended to the backup links:
+  // one base seed forks into per-node streams (node index = fork key), so
+  // primaries keep their stream whether or not hedging adds backups.
+  Rng seeder(res.faults.seed);
+  net::DelayFn delay = [netp](double seconds) { netp->advance(0, seconds); };
+  std::vector<std::unique_ptr<net::FaultyChannel>> faulty;
+  auto wrap_link = [&](int node) -> net::Channel* {
+    net::FaultProfile profile = res.faults;
+    profile.seed = seeder.fork(static_cast<std::uint64_t>(node)).engine()();
+    faulty.push_back(std::make_unique<net::FaultyChannel>(
+        net->take_channel(0, node), profile, delay));
+    if (config.scheduler == Scheduler::discrete_event) {
+      // Virtual-time budgets for determinism — see run_teamnet_chaos.
+      faulty.back()->set_time_source([netp] { return netp->node_time(0); });
+    }
+    return faulty.back().get();
+  };
+  std::vector<net::Channel*> worker_channels;
+  for (int i = 1; i < k; ++i) worker_channels.push_back(wrap_link(i));
+  std::vector<net::Channel*> backup_channels;
+  if (res.hedging) {
+    for (int i = 1; i < k; ++i) backup_channels.push_back(wrap_link(k - 1 + i));
+  }
+
+  net::CollaborativeMaster master(*experts[0], worker_channels);
+  master.set_compute_hook(make_hook(*net, 0, config.device, &master_compute));
+  master.set_worker_timeout(res.worker_timeout_s);
+  master.set_probe_interval(res.probe_interval);
+  master.set_time_source([netp] { return netp->node_time(0); });
+  if (res.health) master.enable_health(res.health_config);
+  if (res.quorum > 0) master.set_gather_quorum(res.quorum);
+  if (res.hedging) {
+    master.set_hedging(backup_channels, res.hedge_min_delay_s,
+                       res.hedge_latency_factor);
+  }
+
+  obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
+  const auto queries = sample_queries(test, config.num_queries, config.seed);
+  ResilienceResult result;
+  double total_latency = 0.0;
+  std::size_t n_correct = 0;
+  const std::int64_t bytes_before = net->bytes_delivered();
+  const std::int64_t msgs_before = net->messages_delivered();
+  try {
+    for (int row : queries) {
+      const double t0 = net->node_time(0);
+      auto r = master.infer(query_tensor(test, row));
+      const double latency_s = net->node_time(0) - t0;
+      total_latency += latency_s;
+      result.latency_ms.push_back(1e3 * latency_s);
+      result.degradation.push_back(static_cast<int>(r.degradation));
+      const bool ok =
+          r.predictions[0] == test.labels[static_cast<std::size_t>(row)];
+      if (ok) ++n_correct;
+      result.correct.push_back(ok ? 1 : 0);
+    }
+  } catch (...) {
+    for (auto& link : faulty) link->close();
+    net->close_all();
+    net->retire(0);
+    for (auto& t : threads) t.join();
+    throw;
+  }
+  // Quiesce every link (backups included) before teardown — same rationale
+  // as run_teamnet_chaos: a hedged duplicate on the last query leaves a
+  // reply in flight whose send would otherwise race shutdown()'s close.
+  for (auto& link : faulty) {
+    try {
+      net::Message quiesce;
+      quiesce.type = net::MsgType::Ping;
+      quiesce.ints = {-1};
+      link->inner().send(quiesce.encode());
+      while (auto raw = link->inner().recv_timeout(1.0)) {
+        net::Message msg = net::Message::decode(*raw);
+        if (msg.type == net::MsgType::Pong && !msg.ints.empty() &&
+            msg.ints[0] == -1) {
+          break;
+        }
+      }
+    } catch (const Error& e) {
+      LOG_DEBUG("resilience quiesce skipped a worker: " << e.what());
+    }
+  }
+  master.shutdown();  // closes primaries and backups, waking every worker
+  net->retire(0);
+  for (auto& t : threads) t.join();
+  result.scenario.schedule_digest = net->finish();
+  const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
+  const std::int64_t msgs_used = net->messages_delivered() - msgs_before;
+
+  result.p50_ms = percentile_ms(result.latency_ms, 50.0);
+  result.p99_ms = percentile_ms(result.latency_ms, 99.0);
+  result.full_gathers = master.full_gathers();
+  result.quorum_gathers = master.quorum_gathers();
+  result.local_only_gathers = master.local_only_gathers();
+  result.hedges_sent = master.hedges_sent();
+  result.hedge_wins = master.hedge_wins();
+  result.hedge_duplicates = master.hedge_duplicates();
+  result.breaker_opens =
+      master.health() != nullptr ? master.health()->breaker_opens() : 0;
+  result.rejoins = master.rejoins();
+  result.stale_replies = master.stale_replies_discarded();
+  for (const auto& w : workers) result.expired_drops += w->expired_dropped();
+  for (const auto& link : faulty) {
+    result.faults_injected += link->faults_injected();
+  }
+
+  result.scenario.approach = "TeamNet-Resilience";
+  result.scenario.num_nodes = num_nodes;
   result.scenario.latency_ms = 1e3 * total_latency / config.num_queries;
   result.scenario.accuracy_pct = 100.0 * static_cast<double>(n_correct) /
                                  static_cast<double>(queries.size());

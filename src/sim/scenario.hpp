@@ -17,6 +17,7 @@
 #include "data/dataset.hpp"
 #include "moe/sg_moe.hpp"
 #include "net/fault.hpp"
+#include "net/health.hpp"
 #include "nn/mlp.hpp"
 #include "nn/shake_shake.hpp"
 #include "sim/calibration.hpp"
@@ -148,5 +149,61 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
                               const data::Dataset& test,
                               const ScenarioConfig& config,
                               const ChaosConfig& chaos);
+
+/// Degradation-plane scenario (DESIGN.md §13): the chaos substrate plus the
+/// SLO machinery — deadline propagation with expired-request drops, quorum
+/// gather, per-worker circuit breakers and (optionally) one backup replica
+/// per worker for hedged dispatch.
+struct ResilienceConfig {
+  net::FaultProfile faults;  ///< per-link fault model (seed forked per link)
+
+  double worker_timeout_s = 0.05;  ///< the query SLO (virtual seconds)
+  int probe_interval = 2;          ///< probation probe cadence (queries)
+  /// Gather quorum (total answers, local expert included); 0 = full gather.
+  int quorum = 0;
+  /// Spawn one backup replica node per worker expert and hedge to it. The
+  /// backup links run the same fault model (independent streams).
+  bool hedging = false;
+  double hedge_min_delay_s = 0.002;
+  double hedge_latency_factor = 1.5;
+  /// Per-worker health scoring + circuit breaker (net/health.hpp).
+  bool health = true;
+  net::HealthConfig health_config;
+  /// Workers drop Infer frames whose propagated deadline already expired.
+  bool drop_expired = true;
+};
+
+/// Per-query degradation telemetry on top of the usual scenario metrics.
+/// The three gather counters partition the queries
+/// (full + quorum + local_only == num_queries).
+struct ResilienceResult {
+  ScenarioResult scenario;
+  std::vector<double> latency_ms;  ///< per query (virtual)
+  double p50_ms = 0.0;             ///< median per-query latency
+  double p99_ms = 0.0;             ///< nearest-rank 99th percentile
+  std::vector<int> degradation;  ///< per query: net::DegradationLevel as int
+  std::vector<char> correct;     ///< per query: 1 = prediction was correct
+  std::int64_t full_gathers = 0;
+  std::int64_t quorum_gathers = 0;
+  std::int64_t local_only_gathers = 0;
+  std::int64_t hedges_sent = 0;
+  std::int64_t hedge_wins = 0;
+  std::int64_t hedge_duplicates = 0;
+  std::int64_t breaker_opens = 0;
+  std::int64_t rejoins = 0;
+  std::int64_t stale_replies = 0;
+  std::int64_t expired_drops = 0;  ///< summed over workers and backups
+  std::int64_t faults_injected = 0;
+};
+
+/// TeamNet's Figure-1 protocol under fault injection with the degradation
+/// plane enabled. Topology: master (node 0) + workers 1..K-1; with
+/// `res.hedging` also one backup replica of worker i's expert on node
+/// K-1+i. Deterministic for a fixed (config, res) under discrete_event —
+/// byte-identical across same-seed runs, results included.
+ResilienceResult run_teamnet_resilience(const std::vector<nn::Module*>& experts,
+                                        const data::Dataset& test,
+                                        const ScenarioConfig& config,
+                                        const ResilienceConfig& res);
 
 }  // namespace teamnet::sim

@@ -66,6 +66,26 @@ std::string result_bytes(const sim::ChaosResult& r) {
   return out;
 }
 
+std::string result_bytes(const sim::ResilienceResult& r) {
+  std::string out = result_bytes(r.scenario);
+  out += '\0';
+  for (double ms : r.latency_ms) put_double(out, ms);
+  put_double(out, r.p50_ms);
+  put_double(out, r.p99_ms);
+  out += '\0';
+  for (int level : r.degradation) out += std::to_string(level) + ",";
+  out += '\0';
+  for (char c : r.correct) out += c ? '1' : '0';
+  for (std::int64_t v :
+       {r.full_gathers, r.quorum_gathers, r.local_only_gathers,
+        r.hedges_sent, r.hedge_wins, r.hedge_duplicates, r.breaker_opens,
+        r.rejoins, r.stale_replies, r.expired_drops, r.faults_injected}) {
+    out += '\0';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
 // ---- shared fixtures --------------------------------------------------------
 
 data::Dataset blob_test_set() {
@@ -232,6 +252,27 @@ TEST(Determinism, TeamNetChaos) {
   const auto a = sim::run_teamnet_chaos(ptrs, test, des_config(), chaos);
   const auto b = sim::run_teamnet_chaos(ptrs, test, des_config(), chaos);
   EXPECT_EQ(result_bytes(a), result_bytes(b));
+}
+
+/// The full degradation plane — drops, duplicates, quorum gather, hedged
+/// dispatch to backup replicas, circuit breakers, expired-request drops —
+/// must still be bit-stable under the discrete-event scheduler, per-query
+/// latencies included.
+TEST(Determinism, TeamNetResilience) {
+  const auto experts = make_experts(3);
+  const auto ptrs = expert_ptrs(experts);
+  const auto test = blob_test_set();
+  sim::ResilienceConfig res;
+  res.faults.seed = determinism_seed();
+  res.faults.drop_prob = 0.2;
+  res.faults.duplicate_prob = 0.15;
+  res.worker_timeout_s = 0.05;
+  res.quorum = 2;
+  res.hedging = true;
+  const auto a = sim::run_teamnet_resilience(ptrs, test, des_config(), res);
+  const auto b = sim::run_teamnet_resilience(ptrs, test, des_config(), res);
+  EXPECT_EQ(result_bytes(a), result_bytes(b));
+  EXPECT_EQ(a.scenario.schedule_digest, b.scenario.schedule_digest);
 }
 
 }  // namespace

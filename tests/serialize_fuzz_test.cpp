@@ -63,6 +63,71 @@ TEST(MessageFuzz, MutationSweepHoldsDecodeContract) {
   exhaust_mutations(fuzz::message_decode, sample_message().encode(), 7);
 }
 
+/// A fully-loaded Infer frame (qid + deadline + hedge flag, DESIGN.md §13)
+/// through the same truncation/corruption/garbage sweep.
+TEST(MessageFuzz, DeadlineInferFrameHoldsDecodeContract) {
+  Rng rng(101);
+  net::Message msg;
+  msg.type = net::MsgType::Infer;
+  net::InferInfo info;
+  info.qid = 41;
+  info.deadline_us = 1'234'567;
+  info.hedged = true;
+  net::set_infer_info(msg, info);
+  msg.tensors = {Tensor::randn({1, 6}, rng)};
+  exhaust_mutations(fuzz::message_decode, msg.encode(), 29);
+}
+
+TEST(MessageFuzz, InferInfoRoundTrips) {
+  for (const auto& original :
+       {net::InferInfo{0, net::kNoDeadlineUs, false},
+        net::InferInfo{7, 0, false},
+        net::InferInfo{-3, 9'000'000'000'000LL, true},
+        net::InferInfo{std::numeric_limits<std::int64_t>::max(), 1, true}}) {
+    net::Message msg;
+    msg.type = net::MsgType::Infer;
+    net::set_infer_info(msg, original);
+    const net::Message decoded = net::Message::decode(msg.encode());
+    const net::InferInfo back = net::infer_info(decoded);
+    EXPECT_EQ(back.qid, original.qid);
+    EXPECT_EQ(back.deadline_us, original.deadline_us);
+    EXPECT_EQ(back.hedged, original.hedged);
+  }
+}
+
+/// Frames from peers that predate the deadline plane carry only the query
+/// id; they must decode as unbounded and unhedged — and weird int payloads
+/// must degrade the same way rather than misread garbage as a budget.
+TEST(MessageFuzz, LegacyAndForeignInferFramesDecodeTolerantly) {
+  net::Message legacy;
+  legacy.type = net::MsgType::Infer;
+  legacy.ints = {17};  // the pre-deadline wire layout
+  net::InferInfo info = net::infer_info(net::Message::decode(legacy.encode()));
+  EXPECT_EQ(info.qid, 17);
+  EXPECT_EQ(info.deadline_us, net::kNoDeadlineUs);
+  EXPECT_FALSE(info.hedged);
+
+  net::Message empty;
+  empty.type = net::MsgType::Infer;
+  info = net::infer_info(empty);
+  EXPECT_EQ(info.qid, -1);
+  EXPECT_EQ(info.deadline_us, net::kNoDeadlineUs);
+
+  // A negative stamp other than the sentinel means "no budget", never a
+  // bogus deadline in the past that would shed every request.
+  net::Message negative;
+  negative.type = net::MsgType::Infer;
+  negative.ints = {5, -12345, 0};
+  info = net::infer_info(negative);
+  EXPECT_EQ(info.deadline_us, net::kNoDeadlineUs);
+
+  // Unknown future flag bits must not read as hedged.
+  net::Message flags;
+  flags.type = net::MsgType::Infer;
+  flags.ints = {5, 1000, 6};  // bits 1|2 set, kHedgedFlag (1) clear
+  EXPECT_FALSE(net::infer_info(flags).hedged);
+}
+
 TEST(MessageFuzz, EveryTruncationIsRejected) {
   const std::string bytes = sample_message().encode();
   for (std::size_t len = 0; len < bytes.size(); ++len) {

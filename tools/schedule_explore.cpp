@@ -49,7 +49,7 @@ struct Cli {
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: schedule_explore --scenario=NAME [options]\n"
-            << "  --scenario=NAME       teamnet|mpi|sg-moe|chaos\n"
+            << "  --scenario=NAME       teamnet|mpi|sg-moe|chaos|resilience\n"
             << "  --seed=N              scenario seed (default 123)\n"
             << "  --queries=N           queries per run (default 8)\n"
             << "  --schedules=N         perturbed schedules (default 50)\n"
