@@ -3,6 +3,8 @@
 // step — the per-batch training overhead TeamNet adds over plain SGD.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "core/entropy.hpp"
 #include "core/expert_trainer.hpp"
 #include "core/gate_trainer.hpp"
@@ -86,4 +88,6 @@ BENCHMARK(BM_ExpertTrainStep);
 }  // namespace
 }  // namespace teamnet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return teamnet::bench::micro_main(argc, argv);
+}

@@ -3,6 +3,8 @@
 // the real byte-shuffling costs behind the simulated links.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include <thread>
 
 #include "mpi/communicator.hpp"
@@ -99,4 +101,6 @@ BENCHMARK(BM_Allreduce);
 }  // namespace
 }  // namespace teamnet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return teamnet::bench::micro_main(argc, argv);
+}

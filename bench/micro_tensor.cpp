@@ -3,6 +3,8 @@
 // the edge-latency model.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "common/rng.hpp"
 #include "core/entropy.hpp"
 #include "tensor/gemm.hpp"
@@ -87,4 +89,6 @@ BENCHMARK(BM_BroadcastMul)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace teamnet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return teamnet::bench::micro_main(argc, argv);
+}

@@ -1,0 +1,36 @@
+# Byte-identity gate for a sweep bench: run BIN twice with identical
+# arguments and require the two --json files to compare equal byte for
+# byte. This is the determinism contract of DESIGN.md §14 — under the
+# discrete-event scheduler a seeded run's machine-readable output is a
+# pure function of the seed, so even one flipped bit means wall-clock or
+# iteration-order nondeterminism leaked into the stats plane.
+#
+# Usage:
+#   cmake -DBIN=<sweep binary> -DOUT_DIR=<scratch dir>
+#         [-DEXTRA_ARGS=<;-list appended to both runs>]
+#         -P RunTwiceCompare.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "RunTwiceCompare.cmake needs -DBIN=... and -DOUT_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+foreach(run a b)
+  execute_process(
+    COMMAND "${BIN}" --quick --json "${OUT_DIR}/run_${run}.json" ${EXTRA_ARGS}
+    RESULT_VARIABLE status
+    OUTPUT_QUIET)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${BIN} run '${run}' exited with ${status}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/run_a.json" "${OUT_DIR}/run_b.json"
+  RESULT_VARIABLE identical)
+if(NOT identical EQUAL 0)
+  message(FATAL_ERROR
+          "--json output differs between same-seed runs: "
+          "${OUT_DIR}/run_a.json vs ${OUT_DIR}/run_b.json")
+endif()
+message(STATUS "byte-identical: ${OUT_DIR}/run_a.json == run_b.json")

@@ -1,0 +1,80 @@
+#include "load/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/percentile.hpp"
+
+namespace teamnet::load {
+
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(Config{}) {}
+
+LatencyHistogram::LatencyHistogram(const Config& config) : config_(config) {
+  TEAMNET_CHECK_MSG(config.min_value > 0.0, "min_value must be > 0");
+  TEAMNET_CHECK_MSG(config.buckets_per_decade >= 1,
+                    "buckets_per_decade must be >= 1");
+  TEAMNET_CHECK_MSG(config.num_decades >= 1, "num_decades must be >= 1");
+  const int n = config.buckets_per_decade * config.num_decades;
+  const double growth =
+      std::pow(10.0, 1.0 / static_cast<double>(config.buckets_per_decade));
+  edges_.reserve(static_cast<std::size_t>(n) + 1);
+  double edge = config.min_value;
+  edges_.push_back(edge);
+  // Repeated multiplication, not pow-per-edge: the edge sequence is then a
+  // pure function of (min_value, growth) with one rounding per step, the
+  // same on every libm.
+  for (int i = 0; i < n; ++i) {
+    edge *= growth;
+    edges_.push_back(edge);
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void LatencyHistogram::record(double value) {
+  // First edge at or above the value; past-the-end = overflow bucket.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  counts_[static_cast<std::size_t>(it - edges_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  TEAMNET_CHECK_MSG(config_ == other.config_,
+                    "LatencyHistogram::merge requires identical layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::percentile(double pct) const {
+  if (count_ == 0) return 0.0;
+  const std::int64_t rank = static_cast<std::int64_t>(
+      obs::nearest_rank(static_cast<std::size_t>(count_), pct));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // Overflow bucket has no finite edge; the max observed value is the
+      // tightest deterministic bound we can report.
+      const double edge =
+          i < edges_.size() ? edges_[i] : max_;
+      return std::clamp(edge, min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative counts sum to count_
+}
+
+}  // namespace teamnet::load

@@ -1,0 +1,81 @@
+// Merge-able log-bucketed latency histogram (DESIGN.md §14), in the style
+// of elbencho's LatencyHistogram: geometric bucket edges give a bounded
+// relative error at every scale, so one layout covers microsecond channel
+// hops and multi-second saturated-queue waits, and two histograms with the
+// same layout merge by adding counts — per-phase and per-worker stats
+// compose into fleet totals without keeping raw samples.
+//
+// Percentiles are nearest-rank over the cumulative bucket counts (the rank
+// rule is obs::nearest_rank, the repo's single percentile definition) and
+// report the bucket's inclusive upper edge — a deterministic, slightly
+// conservative value. Bucket edges are precomputed by repeated
+// multiplication and values are placed with a binary search, not a log()
+// per record, so placement is exact at the boundaries and byte-stable.
+//
+// Not thread-safe: one driver loop owns one histogram; merge after join.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace teamnet::load {
+
+class LatencyHistogram {
+ public:
+  struct Config {
+    /// Upper edge of the first bucket; anything at or below lands there.
+    double min_value = 1e-3;
+    /// Geometric resolution: buckets per decade (relative error per bucket
+    /// is 10^(1/buckets_per_decade) - 1, ~15.5% at the default 16).
+    int buckets_per_decade = 16;
+    /// Decades covered above min_value; values beyond the last edge land
+    /// in the overflow bucket. The default spans 1e-3 .. 1e5 (eight
+    /// decades — microseconds to nearly two minutes when values are ms).
+    int num_decades = 8;
+
+    bool operator==(const Config& other) const {
+      return min_value == other.min_value &&
+             buckets_per_decade == other.buckets_per_decade &&
+             num_decades == other.num_decades;
+    }
+  };
+
+  LatencyHistogram();  ///< default Config
+  explicit LatencyHistogram(const Config& config);
+
+  void record(double value);
+
+  /// Adds `other`'s contents into this histogram. Throws InvariantError on
+  /// a layout mismatch — merging across layouts would silently misbucket.
+  void merge(const LatencyHistogram& other);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Nearest-rank percentile (pct in (0, 100]): the inclusive upper edge
+  /// of the bucket holding the ranked sample, clamped to the observed
+  /// [min, max] so coarse buckets never report beyond the data. 0.0 when
+  /// empty.
+  double percentile(double pct) const;
+
+  const Config& config() const { return config_; }
+  /// Inclusive upper edge of bucket `i` (the last index is the overflow
+  /// bucket, reported as the max observed value).
+  const std::vector<double>& upper_edges() const { return edges_; }
+  /// Per-bucket counts; index edges().size() is the overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  Config config_;
+  std::vector<double> edges_;         ///< strictly increasing upper edges
+  std::vector<std::int64_t> counts_;  ///< edges_.size() + 1 (overflow)
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace teamnet::load

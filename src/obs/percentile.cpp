@@ -1,0 +1,22 @@
+#include "obs/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace teamnet::obs {
+
+std::size_t nearest_rank(std::size_t n, double pct) {
+  if (n == 0) return 0;
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return std::min(rank, n);
+}
+
+double nearest_rank_percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[nearest_rank(values.size(), pct) - 1];
+}
+
+}  // namespace teamnet::obs

@@ -1,0 +1,27 @@
+// Nearest-rank percentile, shared by every latency-statistics surface.
+//
+// One definition of "p99" for the whole repo: the resilience sweep's
+// per-query percentiles (sim/scenario.cpp), the load-generation plane's
+// LatencyHistogram (load/histogram.*) and any future tail-latency report
+// all go through these two functions, so a published p50/p99/p99.9 always
+// means the same estimator — nearest rank, ceil(p/100 * n), 1-based,
+// clamped to the sample — and two surfaces can never drift apart by an
+// off-by-one in their private copies (load_test pins the resilience
+// sweep's historical output against this helper byte for byte).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace teamnet::obs {
+
+/// 1-based nearest-rank index for percentile `pct` (in (0, 100]) over `n`
+/// ordered samples: ceil(pct/100 * n), clamped to [1, n]. Returns 0 only
+/// when n == 0 (no sample to name).
+std::size_t nearest_rank(std::size_t n, double pct);
+
+/// Nearest-rank percentile of `values` (sorts a copy; empty -> 0.0).
+/// Byte-identical to the pre-refactor sim/scenario.cpp `percentile_ms`.
+double nearest_rank_percentile(std::vector<double> values, double pct);
+
+}  // namespace teamnet::obs

@@ -1,0 +1,58 @@
+#include "sim/driver_util.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+
+namespace teamnet::sim {
+
+std::thread spawn_sim_worker(SimNet& net, int node,
+                             std::function<void()> body) {
+  return std::thread([&net, node, body = std::move(body)] {
+    // Trace time-source rule: inside the simulator every thread stamps
+    // events with its node's virtual time, so traces are in virtual time
+    // end to end (and byte-stable under discrete_event).
+    obs::TraceTrack track(
+        node, [&net, node] { return net.node_time(node); },
+        "node" + std::to_string(node));
+    try {
+      body();
+    } catch (const Error& e) {
+      LOG_WARN("scenario worker thread exiting on error: " << e.what());
+    }
+    net.retire(node);
+  });
+}
+
+net::ComputeHook make_compute_hook(SimNet& net, int node,
+                                   const DeviceProfile& device,
+                                   std::atomic<double>* compute_total) {
+  return [&net, node, &device, compute_total](std::int64_t flops) {
+    const double seconds = device.compute_time(flops);
+    net.advance(node, seconds);
+    if (compute_total != nullptr) {
+      double expected = compute_total->load();
+      while (!compute_total->compare_exchange_weak(expected,
+                                                   expected + seconds)) {
+      }
+    }
+  };
+}
+
+std::vector<int> sample_query_rows(const data::Dataset& test, int n,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  for (auto& r : rows) r = rng.randint(0, static_cast<int>(test.size()) - 1);
+  return rows;
+}
+
+Tensor query_row_tensor(const data::Dataset& test, int row) {
+  return ops::take_rows(test.images, {row});
+}
+
+}  // namespace teamnet::sim

@@ -1,5 +1,7 @@
 #include "sim/scenario.hpp"
 
+#include "sim/driver_util.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -8,6 +10,7 @@
 #include "common/annotations.hpp"
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
+#include "obs/percentile.hpp"
 #include "obs/trace.hpp"
 #include "moe/moe_serving.hpp"
 #include "mpi/partitioned.hpp"
@@ -19,58 +22,13 @@ namespace teamnet::sim {
 
 namespace {
 
-/// Wraps a worker thread body: a worker that dies on a closed channel (the
-/// master's error-recovery path) must exit its thread cleanly, not call
-/// std::terminate through an escaped exception. Whatever the exit path, the
-/// node is retired: under discrete_event a finished-but-unretired node
-/// would hold the virtual-time floor and stall every pending delivery.
-template <typename Fn>
-std::thread spawn_worker(SimNet& net, int node, Fn fn) {
-  return std::thread([&net, node, fn = std::move(fn)] {
-    // Trace time-source rule: inside the simulator every thread stamps
-    // events with its node's virtual time, so traces are in virtual time
-    // end to end (and byte-stable under discrete_event).
-    obs::TraceTrack track(
-        node, [&net, node] { return net.node_time(node); },
-        "node" + std::to_string(node));
-    try {
-      fn();
-    } catch (const Error& e) {
-      LOG_WARN("scenario worker thread exiting on error: " << e.what());
-    }
-    net.retire(node);
-  });
-}
-
-/// Picks `n` query rows from the test set (deterministic per seed).
-std::vector<int> sample_queries(const data::Dataset& test, int n,
-                                std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int> rows(static_cast<std::size_t>(n));
-  for (auto& r : rows) r = rng.randint(0, static_cast<int>(test.size()) - 1);
-  return rows;
-}
-
-/// One-sample batch for query `row`.
-Tensor query_tensor(const data::Dataset& test, int row) {
-  return ops::take_rows(test.images, {row});
-}
-
-/// Compute hook that advances `node`'s virtual clock on `device` and tracks
-/// that node's total compute seconds.
-net::ComputeHook make_hook(SimNet& net, int node, const DeviceProfile& device,
-                           std::atomic<double>* compute_total) {
-  return [&net, node, &device, compute_total](std::int64_t flops) {
-    const double seconds = device.compute_time(flops);
-    net.advance(node, seconds);
-    if (compute_total != nullptr) {
-      double expected = compute_total->load();
-      while (!compute_total->compare_exchange_weak(expected,
-                                                   expected + seconds)) {
-      }
-    }
-  };
-}
+// Worker-thread wrapper, compute hook and query sampling are shared with
+// the load-generation driver — see sim/driver_util.hpp. Local aliases keep
+// the call sites below readable.
+constexpr auto spawn_worker = spawn_sim_worker;
+constexpr auto make_hook = make_compute_hook;
+constexpr auto sample_queries = sample_query_rows;
+constexpr auto query_tensor = query_row_tensor;
 
 double model_accuracy_pct(nn::Module& model, const data::Dataset& test) {
   model.set_training(false);
@@ -361,21 +319,6 @@ ChaosResult run_teamnet_chaos(const std::vector<nn::Module*>& experts,
   return result;
 }
 
-namespace {
-
-/// Nearest-rank percentile (pct in (0, 100]); sorts a copy.
-double percentile_ms(std::vector<double> values, double pct) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const std::size_t n = values.size();
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  return values[std::min(rank, n) - 1];
-}
-
-}  // namespace
-
 ResilienceResult run_teamnet_resilience(const std::vector<nn::Module*>& experts,
                                         const data::Dataset& test,
                                         const ScenarioConfig& config,
@@ -500,8 +443,8 @@ ResilienceResult run_teamnet_resilience(const std::vector<nn::Module*>& experts,
   const std::int64_t bytes_used = net->bytes_delivered() - bytes_before;
   const std::int64_t msgs_used = net->messages_delivered() - msgs_before;
 
-  result.p50_ms = percentile_ms(result.latency_ms, 50.0);
-  result.p99_ms = percentile_ms(result.latency_ms, 99.0);
+  result.p50_ms = obs::nearest_rank_percentile(result.latency_ms, 50.0);
+  result.p99_ms = obs::nearest_rank_percentile(result.latency_ms, 99.0);
   result.full_gathers = master.full_gathers();
   result.quorum_gathers = master.quorum_gathers();
   result.local_only_gathers = master.local_only_gathers();

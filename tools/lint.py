@@ -34,7 +34,8 @@ Rules enforced over src/** (tests/bench/examples are exempt unless noted):
   wall-clock-in-sim  Wall-clock reads (std::chrono::*_clock::now) and real
                  sleeps (sleep_for / sleep_until) are forbidden in the
                  virtual-time surfaces: src/sim/** (including the sim/des
-                 engine), src/obs/**, src/net/virtual_clock.* and bench/**.
+                 engine), src/obs/**, src/load/**, src/net/virtual_clock.*
+                 and bench/**.
                  One wall-clock read in a scenario driver, trace/metrics
                  sink or bench silently breaks the bit-stability the
                  determinism CI gate enforces; time must come from
@@ -101,6 +102,7 @@ MODULE_DEPS = {
     "mpi": {"net", "core", "nn", "tensor", "common"},
     "sim": {"obs", "mpi", "moe", "net", "core", "nn", "data", "tensor",
             "common"},
+    "load": {"sim", "moe", "net", "nn", "data", "obs", "common"},
 }
 
 RAW_CAST_RE = re.compile(
@@ -279,7 +281,7 @@ def in_wall_clock_scope(path: pathlib.Path) -> bool:
         rel = path.relative_to(SRC)
     except ValueError:
         return False
-    if rel.parts[0] in {"sim", "obs"}:
+    if rel.parts[0] in {"sim", "obs", "load"}:
         return True
     return rel.parts[0] == "net" and path.stem == "virtual_clock"
 
@@ -388,6 +390,10 @@ def self_test() -> int:
          '#include "net/tcp.hpp"\n', True),
         ("module-deps", SRC / "nn" / "seeded.cpp",
          '#include "tensor/tensor.hpp"\n', False),
+        ("module-deps", SRC / "load" / "seeded.cpp",
+         '#include "mpi/collective.hpp"\n', True),
+        ("module-deps", SRC / "load" / "seeded.cpp",
+         '#include "sim/scenario.hpp"\n', False),
         ("errno-capture", SRC / "net" / "seeded.cpp",
          "if (errno == EAGAIN) return;\n", True),
         ("errno-capture", SRC / "net" / "seeded.cpp",
@@ -420,6 +426,10 @@ def self_test() -> int:
          "return std::chrono::system_clock::now();\n", True),
         ("wall-clock-in-sim", REPO / "bench" / "seeded.cpp",
          "std::this_thread::sleep_until(deadline);\n", True),
+        ("wall-clock-in-sim", SRC / "load" / "seeded.cpp",
+         "const auto t0 = std::chrono::steady_clock::now();\n", True),
+        ("wall-clock-in-sim", SRC / "load" / "seeded.cpp",
+         "const double t = process->next_arrival(now);\n", False),
         ("wall-clock-in-sim", SRC / "net" / "tcp.cpp",
          "const auto t0 = std::chrono::steady_clock::now();\n", False),
         ("wall-clock-in-sim", SRC / "sim" / "seeded.cpp",
