@@ -147,6 +147,9 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--metrics" && i + 1 < argc) {
       opts.metrics_path = argv[++i];
       require_writable_parent_or_exit(opts.metrics_path, "--metrics");
+    } else if (arg == "--breakdown" && i + 1 < argc) {
+      opts.breakdown_path = argv[++i];
+      require_writable_parent_or_exit(opts.breakdown_path, "--breakdown");
     } else if (arg == "--trace-sched") {
       opts.trace_sched = true;
     } else if (arg == "--scheduler" && i + 1 < argc) {
@@ -613,6 +616,44 @@ void JsonReport::write() const {
     throw Error("failed writing --json output file: " + path_);
   }
   std::printf("\nwrote %zu result rows to %s\n", rows_.size(), path_.c_str());
+}
+
+BreakdownReport::BreakdownReport(const Options& opts, std::string experiment)
+    : path_(opts.breakdown_path),
+      experiment_(std::move(experiment)),
+      scheduler_(sim::to_string(opts.scheduler)) {}
+
+void BreakdownReport::add(const std::string& label,
+                          const load::BreakdownSummary& summary) {
+  if (path_.empty()) return;
+  rows_.emplace_back(label, summary);
+}
+
+void BreakdownReport::write() const {
+  if (path_.empty()) return;
+  std::string doc;
+  doc += "{\n";
+  doc += "  \"experiment\": \"" + json_escape(experiment_) + "\",\n";
+  doc += "  \"scheduler\": \"" + scheduler_ + "\",\n";
+  doc += "  \"breakdowns\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    doc += (i == 0 ? "" : ",");
+    doc += "\n    {\n      \"label\": \"" + json_escape(rows_[i].first) +
+           "\",\n      \"summary\": ";
+    load::append_breakdown_json(doc, rows_[i].second, "      ");
+    doc += "\n    }";
+  }
+  doc += "\n  ]\n}\n";
+  std::ofstream os(path_, std::ios::binary);
+  if (!os.good()) {
+    throw Error("cannot open --breakdown output file: " + path_);
+  }
+  os << doc;
+  os.flush();
+  if (!os.good()) {
+    throw Error("failed writing --breakdown output file: " + path_);
+  }
+  std::printf("wrote %zu breakdown rows to %s\n", rows_.size(), path_.c_str());
 }
 
 void print_comparison_table(const std::string& title,

@@ -14,6 +14,7 @@
 #include "core/teamnet.hpp"
 #include "data/synthetic_cifar.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "load/breakdown.hpp"
 #include "moe/sg_moe.hpp"
 #include "nn/mlp.hpp"
 #include "nn/shake_shake.hpp"
@@ -27,6 +28,12 @@ struct Options {
   std::string json_path;     ///< --json PATH: machine-readable results sink
   std::string trace_path;    ///< --trace PATH: Chrome trace-event JSON sink
   std::string metrics_path;  ///< --metrics PATH: metrics snapshot JSON sink
+  /// --breakdown PATH: per-scenario latency-attribution report (rich
+  /// nested JSON — per-phase critical-path totals, dominant-phase census,
+  /// straggler slack, per-degradation-level splits). Byte-stable under
+  /// discrete_event; CI gates it by double-run byte identity, while the
+  /// flat --json row carries the compare-gated headline shares.
+  std::string breakdown_path;
   bool trace_sched = false;  ///< --trace-sched: include DES scheduler events
   /// Benches default to the discrete-event scheduler so every published
   /// number — latency_ms included — is bit-reproducible from the seed;
@@ -102,6 +109,23 @@ class JsonReport {
     core::ConvergenceTelemetry::Series series;
   };
   std::vector<ConvergenceRow> convergence_;
+};
+
+/// Latency-attribution sink behind --breakdown: one BreakdownSummary per
+/// measured scenario, written as a single JSON document via
+/// load::append_breakdown_json. No-op when the option was not given.
+class BreakdownReport {
+ public:
+  BreakdownReport(const Options& opts, std::string experiment);
+  void add(const std::string& label, const load::BreakdownSummary& summary);
+  /// Writes the collected rows to Options::breakdown_path. Call at exit.
+  void write() const;
+
+ private:
+  std::string path_;
+  std::string experiment_;
+  std::string scheduler_;
+  std::vector<std::pair<std::string, load::BreakdownSummary>> rows_;
 };
 
 // ---- MNIST (handwritten digit recognition, §VI-C) --------------------------

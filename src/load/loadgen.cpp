@@ -11,6 +11,7 @@
 #include "moe/moe_serving.hpp"
 #include "net/collab.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "sim/driver_util.hpp"
 
@@ -26,6 +27,15 @@ namespace {
 const std::vector<double>& metrics_latency_edges() {
   static const std::vector<double> edges{0.1, 1.0, 10.0, 100.0, 1e3, 1e4};
   return edges;
+}
+
+/// Degradation level for a record, normalized across result types.
+int result_degradation(const net::CollaborativeMaster::Result& r) {
+  return static_cast<int>(r.degradation);
+}
+int result_degradation(const moe::MoeMaster::Result& r) {
+  // SG-MoE has no quorum; local fallback is its (only) degraded mode.
+  return r.fallback_rows > 0 ? 1 : 0;
 }
 
 /// The protocol plumbing is identical for both serving paths — only master
@@ -60,6 +70,8 @@ LoadResult run_load_generic(const std::string& approach, int k,
         get_expert(i), net->channel(i, 0)));
     workers.back()->set_compute_hook(
         sim::make_compute_hook(*net, i, config.device, nullptr));
+    workers.back()->set_time_source([netp, i] { return netp->node_time(i); });
+    workers.back()->set_trace_node(i);
     threads.push_back(sim::spawn_sim_worker(
         *net, i, [w = workers.back().get()] { w->serve(); }));
   }
@@ -71,6 +83,14 @@ LoadResult run_load_generic(const std::string& approach, int k,
   auto master = make_master(worker_channels);
   master->set_compute_hook(
       sim::make_compute_hook(*net, 0, config.device, &master_compute));
+  // The master publishes timeline marks through its time source; the
+  // steady-clock default would stamp wall time into a virtual-clock run.
+  // Behavior-neutral otherwise: with timeout 0 no deadline ever reads it.
+  master->set_time_source([netp] { return netp->node_time(0); });
+  master->set_flow_trace(true);
+  if (load.worker_timeout_s > 0.0) {
+    master->set_worker_timeout(load.worker_timeout_s);
+  }
 
   obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
   const auto rows =
@@ -89,6 +109,8 @@ LoadResult run_load_generic(const std::string& approach, int k,
   int correct = 0;
   const std::int64_t bytes_before = net->bytes_delivered();
   const std::int64_t msgs_before = net->messages_delivered();
+  auto& recorder = obs::TimelineRecorder::instance();
+  recorder.start();
   try {
     for (std::size_t q = 0; q < rows.size(); ++q) {
       const double now = net->node_time(0);
@@ -99,6 +121,7 @@ LoadResult run_load_generic(const std::string& approach, int k,
       if (t_arrival > now) net->advance(0, t_arrival - now);
       arrivals_counter.increment();
       obs::trace_instant("load.arrival");
+      recorder.note_arrival(t_arrival);
       auto res = master->infer(sim::query_row_tensor(test, rows[q]));
       const double t_completion = net->node_time(0);
       process->on_complete(t_completion);
@@ -112,10 +135,13 @@ LoadResult run_load_generic(const std::string& approach, int k,
       record.correct =
           res.predictions[0] ==
           test.labels[static_cast<std::size_t>(rows[q])];
+      record.degradation = result_degradation(res);
       if (record.correct) ++correct;
       records.push_back(record);
     }
   } catch (...) {
+    recorder.stop();
+    recorder.take();
     net->close_all();
     net->retire(0);
     for (auto& t : threads) t.join();
@@ -126,6 +152,8 @@ LoadResult run_load_generic(const std::string& approach, int k,
   master->shutdown();
   net->retire(0);
   for (auto& t : threads) t.join();
+  recorder.stop();
+  const std::vector<obs::QueryTimeline> timelines = recorder.take();
 
   LoadResult result;
   result.schedule_digest = net->finish();
@@ -135,6 +163,24 @@ LoadResult run_load_generic(const std::string& approach, int k,
   result.num_queries = load.num_queries;
   result.warmup_queries = load.warmup_queries;
   result.records = std::move(records);
+
+  // Attribute every query's latency. Query ids are the master's monotone
+  // sequence starting at 1, so records[q] is qid q+1; a qid the recorder
+  // never saw (cannot happen on the in-process paths) degrades to an
+  // all-zero attribution rather than misaligning the join.
+  result.attributions.reserve(result.records.size());
+  std::size_t ti = 0;
+  for (std::size_t q = 0; q < result.records.size(); ++q) {
+    const auto qid = static_cast<std::int64_t>(q) + 1;
+    while (ti < timelines.size() && timelines[ti].qid < qid) ++ti;
+    if (ti < timelines.size() && timelines[ti].qid == qid) {
+      result.attributions.push_back(obs::attribute(timelines[ti]));
+    } else {
+      obs::QueryAttribution missing;
+      missing.qid = qid;
+      result.attributions.push_back(missing);
+    }
+  }
 
   const std::size_t warmup = static_cast<std::size_t>(load.warmup_queries);
   result.warmup = make_phase_stats(result.records, 0, warmup, load.histogram);
@@ -156,6 +202,28 @@ LoadResult run_load_generic(const std::string& approach, int k,
   result.messages_per_query =
       static_cast<double>(msgs_used) / load.num_queries;
   registry.gauge("load.achieved_qps").set(result.achieved_qps);
+  registry.gauge("load.offered_qps").set(result.offered_qps);
+  registry.gauge("load.mean_inflight").set(result.mean_inflight);
+  registry.gauge("load.steady_window_s").set(result.steady.duration_s());
+  registry.gauge("load.steady_queries")
+      .set(static_cast<double>(result.steady.queries));
+  // Export the steady-phase distribution at full resolution (the always-on
+  // "load.latency_ms" above keeps coarse decade edges). Guarded on the
+  // default layout: a same-process run with a custom layout would otherwise
+  // trip the registry's same-name/same-edges invariant.
+  if (load.histogram == LatencyHistogram::Config{}) {
+    auto& steady_histogram = registry.histogram(
+        "load.steady_latency_ms", result.steady.latency.upper_edges());
+    const auto& edges = result.steady.latency.upper_edges();
+    const auto counts = result.steady.latency.bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      // Placing each bucket at its inclusive upper edge reproduces the
+      // counts exactly (both histograms bucket by lower_bound); overflow
+      // goes past the last edge.
+      const double at = b < edges.size() ? edges[b] : edges.back() * 2.0;
+      steady_histogram.observe_n(at, counts[b]);
+    }
+  }
   return result;
 }
 
@@ -207,9 +275,13 @@ LoadResult run_teamnet_load(const std::vector<nn::Module*>& experts,
         return *experts[static_cast<std::size_t>(i)];
       },
       test, config, load,
-      [&experts](const std::vector<net::Channel*>& channels) {
-        return std::make_unique<net::CollaborativeMaster>(*experts[0],
-                                                          channels);
+      [&experts, &load](const std::vector<net::Channel*>& channels) {
+        auto master = std::make_unique<net::CollaborativeMaster>(*experts[0],
+                                                                 channels);
+        if (load.gather_quorum > 0) {
+          master->set_gather_quorum(load.gather_quorum);
+        }
+        return master;
       });
 }
 

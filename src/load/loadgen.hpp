@@ -20,6 +20,7 @@
 #include "load/stats.hpp"
 #include "moe/sg_moe.hpp"
 #include "nn/module.hpp"
+#include "obs/critpath.hpp"
 #include "sim/scenario.hpp"
 
 namespace teamnet::load {
@@ -38,6 +39,13 @@ struct LoadConfig {
   /// arrival.seed, so traffic shape and traffic content vary independently).
   std::uint64_t query_seed = 7;
   LatencyHistogram::Config histogram;
+  /// > 0 bounds each gather with one shared deadline (master
+  /// set_worker_timeout); 0 keeps the block-forever default.
+  double worker_timeout_s = 0.0;
+  /// > 0 lets the TeamNet gather complete at a quorum of worker answers
+  /// (set_gather_quorum; requires worker_timeout_s > 0 to ever degrade).
+  /// Ignored by the SG-MoE path, which has no quorum concept.
+  int gather_quorum = 0;
 };
 
 struct LoadResult {
@@ -68,6 +76,10 @@ struct LoadResult {
   /// Per-query arrival/completion/row/correct in arrival order — the raw
   /// material for determinism tests and offline analysis.
   std::vector<QueryRecord> records;
+  /// Exact latency attribution per query (same order as `records`;
+  /// records[i] is query id i+1). Under discrete_event both partitions of
+  /// every entry telescope bit-exactly to the record's latency.
+  std::vector<obs::QueryAttribution> attributions;
   std::uint64_t schedule_digest = 0;  ///< discrete_event only, 0 otherwise
 };
 

@@ -25,6 +25,9 @@ struct QueryRecord {
   double completion_s = 0.0;
   int row = -1;       ///< dataset row served
   bool correct = false;
+  /// net::DegradationLevel the serving path reported for this query (0 =
+  /// full; SG-MoE reports 1 when local fallback recomputed any row).
+  int degradation = 0;
 };
 
 struct PhaseStats {

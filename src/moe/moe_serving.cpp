@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -122,6 +123,14 @@ void MoeMaster::probe_failed_workers() {
         }
         ++stale_discarded_;
         bump("moe.stale_replies_total");
+        if (flow_trace_ && msg.type == net::MsgType::Result &&
+            !msg.ints.empty()) {
+          // A late Result from before the expert failed: close its flow at
+          // the probation drain so it does not dangle in the trace.
+          obs::trace_flow_finish(
+              "result",
+              obs::flow_id(msg.ints[0], static_cast<int>(w) + 1, 1));
+        }
       }
       if (!slot.failed) continue;
       if (--slot.probe_countdown > 0) continue;
@@ -152,6 +161,10 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
   obs::TraceSpan query_span("query", [&] {
     return obs::TraceArgs().arg("qid", qid).arg("batch", n);
   });
+  const bool timeline = obs::qtl_active();
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::dispatch, now_());
+  }
 
   // Probation first, so a recovered worker rejoins in time for this query.
   probe_failed_workers();
@@ -223,11 +236,23 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
       if (!local_fallback_) {
         workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
         asked[static_cast<std::size_t>(i)] = 1;
+        if (timeline) {
+          obs::qtl_worker_mark(qid, i - 1, obs::WorkerMark::sent, now_());
+        }
+        if (flow_trace_) {
+          obs::trace_flow_start("infer", obs::flow_id(qid, i, 0));
+        }
         continue;
       }
       try {
         workers_[static_cast<std::size_t>(i - 1)]->send(request.encode());
         asked[static_cast<std::size_t>(i)] = 1;
+        if (timeline) {
+          obs::qtl_worker_mark(qid, i - 1, obs::WorkerMark::sent, now_());
+        }
+        if (flow_trace_) {
+          obs::trace_flow_start("infer", obs::flow_id(qid, i, 0));
+        }
       } catch (const Error& e) {
         LOG_WARN("expert " << i << " failed on send: " << e.what());
         mark_failed(static_cast<std::size_t>(i - 1));
@@ -236,6 +261,9 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
     }
   }
   const double t_sent = now_();
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::broadcast_end, t_sent);
+  }
 
   Tensor probs;
   auto place = [&](const std::vector<int>& rows, const Tensor& pi) {
@@ -262,6 +290,9 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
           "rows", static_cast<std::int64_t>(groups[0].size()));
     });
     run_local(groups[0]);
+  }
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::local_compute_end, now_());
   }
 
   // Collect remote replies under ONE shared deadline; stale replies (old
@@ -315,11 +346,22 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
         } else if (reply.ints.empty() || reply.ints[0] != qid) {
           ++stale_discarded_;
           bump("moe.stale_replies_total");
+          if (flow_trace_ && !reply.ints.empty()) {
+            obs::trace_flow_finish(
+                "result", obs::flow_id(reply.ints[0], i, 1));
+          }
           obs::trace_instant("stale_reply_discarded", [&] {
             return obs::TraceArgs().arg("expert", i).arg("qid", qid);
           });
           LOG_WARN("expert " << i << " sent a stale reply; discarded");
           continue;
+        }
+        if (flow_trace_) {
+          obs::trace_flow_finish("result", obs::flow_id(qid, i, 1));
+        }
+        if (timeline) {
+          obs::qtl_worker_mark(qid, i - 1, obs::WorkerMark::reply_recv,
+                               now_());
         }
         place(rows, reply.tensors[0]);
         if (health_) health_->record_success(static_cast<int>(w),
@@ -338,8 +380,17 @@ MoeMaster::Result MoeMaster::infer(const Tensor& x) {
     }
   }
 
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::gather_end, now_());
+  }
   result.probs = std::move(probs);
   result.predictions = ops::argmax_rows(result.probs);
+  if (timeline) {
+    // Map onto the shared degradation vocabulary: any row that fell back
+    // to the local expert degrades the query (quorum-equivalent).
+    obs::qtl_degradation(qid, result.fallback_rows > 0 ? 1 : 0);
+    obs::qtl_master_mark(qid, obs::QueryPhase::complete, now_());
+  }
   return result;
 }
 

@@ -54,6 +54,13 @@ class MoeMaster {
   /// Substitutes the monotonic clock used for the reply deadline.
   void set_time_source(net::TimeSource now);
 
+  /// Causal flow tracing, same contract as
+  /// net::CollaborativeMaster::set_flow_trace: dispatch sends open
+  /// Chrome-trace flows the workers close, worker replies open flows the
+  /// collection loop closes (stale discards included). In-process sim
+  /// drivers only.
+  void set_flow_trace(bool enabled) { flow_trace_ = enabled; }
+
   /// Degraded mode (DESIGN.md §13): rows routed to a failed (or
   /// breaker-open) expert are recomputed by the master's local expert 0 —
   /// a wrong-expert answer beats no answer — and the failure enters the
@@ -110,6 +117,7 @@ class MoeMaster {
   net::ComputeHook on_compute_;
   double worker_timeout_s_ = 0.0;
   bool local_fallback_ = false;
+  bool flow_trace_ = false;
   int probe_interval_ = 4;
   std::unique_ptr<net::HealthTracker> health_;
   bool test_pre_qid_gather_ = false;  ///< test-only mutation hook

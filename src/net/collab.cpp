@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "core/entropy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -72,6 +73,11 @@ void CollaborativeWorker::set_time_source(TimeSource now) {
   now_ = now ? std::move(now) : TimeSource(&steady_seconds);
 }
 
+void CollaborativeWorker::set_trace_node(int node) {
+  TEAMNET_CHECK_MSG(node >= 1, "worker trace node must be >= 1");
+  trace_node_ = node;
+}
+
 // analyze:hot  (per-query path: hot-path allocation audit root)
 void CollaborativeWorker::serve() {
   for (;;) {
@@ -101,6 +107,15 @@ void CollaborativeWorker::serve() {
       continue;
     }
     const InferInfo info = infer_info(request);
+    // Hedged requests answer under the primary worker's identity, so only
+    // the primary replica publishes marks/flows for a query (DESIGN.md
+    // §15) — a backup doing the same would double-book the lane.
+    const bool marked = trace_node_ >= 1 && !info.hedged && obs::qtl_active();
+    if (marked) {
+      obs::trace_flow_finish("infer", obs::flow_id(info.qid, trace_node_, 0));
+      obs::qtl_worker_mark(info.qid, trace_node_ - 1,
+                           obs::WorkerMark::request_recv, now_());
+    }
     if (drop_expired_ && info.deadline_us != kNoDeadlineUs &&
         now_() * 1e6 > static_cast<double>(info.deadline_us)) {
       // The propagated deadline already passed on this node's clock: the
@@ -119,13 +134,29 @@ void CollaborativeWorker::serve() {
         return obs::TraceArgs().arg(
             "qid", request.ints.empty() ? std::int64_t{-1} : request.ints[0]);
       });
+      // compute_begin BEFORE the compute hook: under simulation the hook
+      // advances this node's virtual clock by the modeled compute time, so
+      // the begin/end pair brackets exactly that interval.
+      if (marked) {
+        obs::qtl_worker_mark(info.qid, trace_node_ - 1,
+                             obs::WorkerMark::compute_begin, now_());
+      }
       if (on_compute_) on_compute_(batch_flops(expert_, x));
       auto [probs, entropy] = evaluate(expert_, x);
+      if (marked) {
+        obs::qtl_worker_mark(info.qid, trace_node_ - 1,
+                             obs::WorkerMark::compute_end, now_());
+      }
       Message reply;
       reply.type = MsgType::Result;
       reply.ints = request.ints;  // echo the query id
       reply.tensors = {std::move(probs), std::move(entropy)};
       channel_.send(reply.encode());
+      if (marked) {
+        obs::trace_flow_start("result", obs::flow_id(info.qid, trace_node_, 1));
+        obs::qtl_worker_mark(info.qid, trace_node_ - 1,
+                             obs::WorkerMark::reply_sent, now_());
+      }
       ++served_;
     } catch (const NetworkError&) {
       throw;  // broken channel: the serving loop cannot continue
@@ -267,6 +298,13 @@ void CollaborativeMaster::probe_failed_workers() {
         }
         ++stale_discarded_;
         bump("collab.stale_replies_total");
+        if (flow_trace_ && msg.type == MsgType::Result && !msg.ints.empty()) {
+          // A late Result from before the worker failed: close its flow at
+          // the probation drain so it does not dangle in the trace.
+          obs::trace_flow_finish(
+              "result",
+              obs::flow_id(msg.ints[0], static_cast<int>(w) + 1, 1));
+        }
       }
       if (!slot.failed) continue;
       if (--slot.probe_countdown > 0) continue;
@@ -301,6 +339,10 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
   obs::TraceSpan query_span("query", [&] {
     return obs::TraceArgs().arg("qid", qid).arg("batch", n);
   });
+  const bool timeline = obs::qtl_active();
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::dispatch, now_());
+  }
 
   // Probation first, so a recovered worker rejoins in time for this query.
   probe_failed_workers();
@@ -333,6 +375,17 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
       try {
         workers_[w]->send(encoded);
         asked[w] = true;
+        if (timeline) {
+          // Per-worker send-done instants expose the serial broadcast: the
+          // gap between consecutive `sent` marks IS the master's per-worker
+          // serialization cost (AttrPhase::broadcast_serial).
+          obs::qtl_worker_mark(qid, static_cast<int>(w),
+                               obs::WorkerMark::sent, now_());
+        }
+        if (flow_trace_) {
+          obs::trace_flow_start(
+              "infer", obs::flow_id(qid, static_cast<int>(w) + 1, 0));
+        }
       } catch (const Error& e) {
         LOG_WARN("worker " << w + 1 << " failed on send: " << e.what());
         mark_failed(w);
@@ -340,6 +393,9 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
     }
   }
   const double t_sent = now_();
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::broadcast_end, t_sent);
+  }
 
   // Step 3 (local share): the master evaluates its own expert while the
   // workers evaluate theirs.
@@ -350,6 +406,9 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
     });
     if (on_compute_) on_compute_(batch_flops(expert_, x));
     local = evaluate(expert_, x);
+  }
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::local_compute_end, now_());
   }
   Tensor local_probs = std::move(local.first);
   Tensor local_entropy = std::move(local.second);
@@ -416,6 +475,13 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
             } else if (reply.ints.empty() || reply.ints[0] != qid) {
               ++stale_discarded_;
               bump("collab.stale_replies_total");
+              if (flow_trace_ && !reply.ints.empty()) {
+                // Close the stale reply's flow at its discard point — a
+                // drained stale is consumed, not dangling.
+                obs::trace_flow_finish(
+                    "result",
+                    obs::flow_id(reply.ints[0], static_cast<int>(w) + 1, 1));
+              }
               obs::trace_instant("stale_reply_discarded", [&] {
                 return obs::TraceArgs()
                     .arg("worker", static_cast<std::int64_t>(w) + 1)
@@ -427,6 +493,14 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
                                   << (reply.ints.empty() ? -1 : reply.ints[0])
                                   << " during query " << qid << "; discarded");
               continue;
+            }
+            if (flow_trace_) {
+              obs::trace_flow_finish(
+                  "result", obs::flow_id(qid, static_cast<int>(w) + 1, 1));
+            }
+            if (timeline) {
+              obs::qtl_worker_mark(qid, static_cast<int>(w),
+                                   obs::WorkerMark::reply_recv, now_());
             }
             all_probs.push_back(std::move(reply.tensors[0]));
             all_entropy.push_back(std::move(reply.tensors[1]));
@@ -523,6 +597,11 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
         if (reply.ints.empty() || reply.ints[0] != qid) {
           ++stale_discarded_;
           bump("collab.stale_replies_total");
+          if (flow_trace_ && !from_backup && !reply.ints.empty()) {
+            obs::trace_flow_finish(
+                "result",
+                obs::flow_id(reply.ints[0], static_cast<int>(w) + 1, 1));
+          }
           obs::trace_instant("stale_reply_discarded", [&] {
             return obs::TraceArgs()
                 .arg("worker", static_cast<std::int64_t>(w) + 1)
@@ -538,6 +617,13 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
           if (backup_outstanding[w] > 0) --backup_outstanding[w];
         } else {
           primary_outstanding[w] = 0;
+          // Backup replicas never open flows (they answer under a lane
+          // they do not own), so only primary replies close one — whether
+          // accepted or reconciled as a hedge duplicate below.
+          if (flow_trace_) {
+            obs::trace_flow_finish(
+                "result", obs::flow_id(qid, static_cast<int>(w) + 1, 1));
+          }
         }
         if (answered_by[w]) {
           // The other replica of this expert answered first: the id echo
@@ -554,6 +640,10 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
         answered_by[w] = 1;
         pending[w] = 0;
         ++answers;
+        if (timeline) {
+          obs::qtl_worker_mark(qid, static_cast<int>(w),
+                               obs::WorkerMark::reply_recv, now_());
+        }
         all_probs.push_back(std::move(reply.tensors[0]));
         all_entropy.push_back(std::move(reply.tensors[1]));
         node_of.push_back(static_cast<int>(w) + 1);
@@ -747,6 +837,10 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
     }
   }
 
+  if (timeline) {
+    obs::qtl_master_mark(qid, obs::QueryPhase::gather_end, now_());
+  }
+
   // Step 5: per sample, the least-uncertain answering node wins.
   const int answered = static_cast<int>(all_probs.size());
   obs::TraceSpan argmin_span("argmin", [&] {
@@ -787,6 +881,10 @@ CollaborativeMaster::Result CollaborativeMaster::infer(const Tensor& x) {
     result.degradation = DegradationLevel::quorum;
     ++quorum_gathers_;
     bump("collab.degradation_quorum_total");
+  }
+  if (timeline) {
+    obs::qtl_degradation(qid, static_cast<int>(result.degradation));
+    obs::qtl_master_mark(qid, obs::QueryPhase::complete, now_());
   }
   return result;
 }

@@ -101,6 +101,17 @@ class CollaborativeWorker {
   /// pass this node's virtual clock).
   void set_time_source(TimeSource now);
 
+  /// Tells the worker which scenario node it serves as (node >= 1; worker
+  /// lane = node - 1) so it can publish per-query timeline marks and close
+  /// the master's causal flow events (DESIGN.md §15). Unset (the default)
+  /// keeps the worker anonymous and emission-free — the right state for
+  /// real-TCP deployments where master and worker traces are separate
+  /// files and a flow pair could never match up. In-process sim drivers
+  /// opt in. Marks are only published for non-hedged requests: a backup
+  /// replica answers under the PRIMARY worker's lane and flow ids, which
+  /// it does not own.
+  void set_trace_node(int node);
+
   /// Number of Infer requests answered (telemetry).
   std::int64_t requests_served() const { return served_; }
   /// Number of probation Pings answered (telemetry).
@@ -113,6 +124,7 @@ class CollaborativeWorker {
   Channel& channel_;
   ComputeHook on_compute_;
   TimeSource now_;
+  int trace_node_ = 0;  ///< 0 = anonymous (no marks/flows)
   bool drop_expired_ = false;
   std::int64_t served_ = 0;
   std::int64_t pongs_ = 0;
@@ -168,6 +180,18 @@ class CollaborativeMaster {
   /// Substitutes the monotonic clock used for gather deadlines (default:
   /// steady_seconds). Simulations pass virtual-clock time here.
   void set_time_source(TimeSource now);
+
+  /// Causal flow tracing (DESIGN.md §15): when enabled, every broadcast
+  /// send opens a Chrome-trace flow ('s') that the worker's receive closes
+  /// ('f'), and every worker reply opens one the gather's read closes —
+  /// Perfetto renders the pairs as arrows across node rows. Off by default
+  /// and only meaningful for in-process sim drivers where master and
+  /// workers share one tracer (and call set_trace_node); over real TCP the
+  /// halves would dangle in separate trace files. Stale replies drained by
+  /// the gather or probation paths still close their flow, so a clean
+  /// (fault-free) trace has no dangling flows — tools/check_trace.py
+  /// enforces exactly that.
+  void set_flow_trace(bool enabled) { flow_trace_ = enabled; }
 
   /// Quorum gather (DESIGN.md §13): when `answers` > 0, a gather completes
   /// as soon as that many answers are in — the local expert always counts
@@ -267,6 +291,7 @@ class CollaborativeMaster {
   std::vector<Channel*> backups_;  ///< empty = hedging disabled
   double hedge_min_delay_s_ = 0.0;
   double hedge_factor_ = 1.5;
+  bool flow_trace_ = false;
   std::int64_t query_seq_ = 0;
   std::int64_t probe_seq_ = 0;
   std::int64_t stale_discarded_ = 0;

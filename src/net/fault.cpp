@@ -82,6 +82,16 @@ void FaultyChannel::record_locked(const char* dir, std::int64_t seq,
   obs::MetricsRegistry::instance()
       .counter("net.faults_injected_total")
       .increment();
+  // Per-kind companion ("net.faults_drop_total", "net.faults_delay_total",
+  // ...): the kind is `what`'s first token, normalized to a name segment,
+  // so a fault sweep can see WHICH injections fired without parsing logs.
+  std::string kind = what.substr(0, what.find(' '));
+  for (char& c : kind) {
+    if (c == '-' || c == '@') c = '_';
+  }
+  obs::MetricsRegistry::instance()
+      .counter("net.faults_" + kind + "_total")
+      .increment();
   obs::trace_instant("fault", [&] {
     return obs::TraceArgs().arg("dir", dir).arg("seq", seq).arg("what", what);
   });

@@ -118,6 +118,9 @@ struct WireCounters {
   obs::Counter& msgs_sent;
   obs::Counter& bytes_received;
   obs::Counter& msgs_received;
+  /// Per-message link transit (virtual send -> virtual delivery), ms.
+  /// Decade edges span channel hops to multi-second injected delays.
+  obs::Histogram& transit_ms;
 
   static WireCounters& instance() {
     static WireCounters& counters = *new WireCounters{
@@ -125,6 +128,8 @@ struct WireCounters {
         obs::MetricsRegistry::instance().counter("net.msgs_sent"),
         obs::MetricsRegistry::instance().counter("net.bytes_received"),
         obs::MetricsRegistry::instance().counter("net.msgs_received"),
+        obs::MetricsRegistry::instance().histogram(
+            "net.transit_ms", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1e3}),
     };
     return counters;
   }
@@ -196,6 +201,11 @@ class SimChannel final : public Channel {
     clock_.deliver(self_, send_time, payload_bytes, link_);
     WireCounters::instance().bytes_received.add(payload_bytes);
     WireCounters::instance().msgs_received.increment();
+    // Observed AFTER deliver returns (never under the clock's lock): the
+    // receiver's post-delivery clock minus the sender's stamp is the
+    // message's realized transit, Lamport wait included.
+    WireCounters::instance().transit_ms.observe(
+        1e3 * (clock_.node_time(self_) - send_time));
     if (obs::Tracer::active()) {
       const auto total =
           rx_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed) +

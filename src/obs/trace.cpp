@@ -184,6 +184,16 @@ void Tracer::end_at(int track_id, double ts_s) {
   append(track_id, std::move(e));
 }
 
+void Tracer::flow_at(int track_id, double ts_s, char ph, const char* name,
+                     std::int64_t id) {
+  TraceEvent e;
+  e.ts_us = ts_s * 1e6;
+  e.ph = ph;
+  e.name = name;
+  e.flow_id = id;
+  append(track_id, std::move(e));
+}
+
 std::int64_t Tracer::dropped_events() const {
   std::int64_t total = 0;
   MutexLock lock(registry_mutex_);
@@ -225,6 +235,12 @@ std::string Tracer::to_json() const {
       }
       if (e.ph == 'i') {
         os << ", \"s\": \"t\"";  // thread-scoped instant
+      }
+      if (e.ph == 's' || e.ph == 'f') {
+        // Chrome flow events need a category + binding id; "bp": "e" binds
+        // the finish to its ENCLOSING slice (the receiver's span).
+        os << ", \"cat\": \"flow\", \"id\": " << e.flow_id;
+        if (e.ph == 'f') os << ", \"bp\": \"e\"";
       }
       if (!e.args.empty()) {
         os << ", \"args\": " << e.args;
@@ -293,6 +309,12 @@ void counter_slow(const char* name, double value) {
   const Binding& b = binding();
   if (b.track < 0) return;
   Tracer::instance().counter_at(b.track, bound_now(), name, value);
+}
+
+void flow_slow(char ph, const char* name, std::int64_t id) {
+  const Binding& b = binding();
+  if (b.track < 0) return;
+  Tracer::instance().flow_at(b.track, bound_now(), ph, name, id);
 }
 
 }  // namespace detail

@@ -74,9 +74,10 @@ class TraceArgs {
 
 struct TraceEvent {
   double ts_us = 0.0;  ///< microseconds on the track's TimeSource
-  char ph = 'i';       ///< 'B' | 'E' | 'i' | 'C'
+  char ph = 'i';       ///< 'B' | 'E' | 'i' | 'C' | 's' | 'f'
   std::string name;    ///< empty for 'E'
   std::string args;    ///< pre-rendered JSON object, may be empty
+  std::int64_t flow_id = -1;  ///< 's'/'f' only: the flow-binding id
 };
 
 class Tracer {
@@ -122,6 +123,15 @@ class Tracer {
   /// be called between scenarios — i.e. with no emitter threads live.
   void begin_epoch(const std::string& name);
 
+  /// Index of the current epoch (0 before any begin_epoch call). Epoch
+  /// boundaries are quiescent points, so every emission within one
+  /// scenario run reads the same value — flow_id() and the qtl instants
+  /// fold it in so ids stay unique when sequential runs (each restarting
+  /// qid at 1) share one trace file.
+  int current_epoch() const {
+    return epoch_base_.load(std::memory_order_relaxed) / kTrackStride;
+  }
+
   /// Explicit-track, explicit-timestamp emission for callers holding a
   /// scheduler lock. Track mutexes are leaf locks, so this never
   /// deadlocks against the caller's lock; `ts_s` must come from state the
@@ -132,6 +142,12 @@ class Tracer {
   void begin_at(int track, double ts_s, const char* name,
                 const TraceArgs* args);
   void end_at(int track, double ts_s);
+  /// Flow event ('s' start / 'f' finish) on an explicit track. Flow
+  /// events bind causally-related slices across tracks (Perfetto draws
+  /// them as arrows); `id` pairs the start with its finish (flow_id()
+  /// below derives a stable one from qid × node × direction).
+  void flow_at(int track, double ts_s, char ph, const char* name,
+               std::int64_t id);
 
   /// Events discarded because a track buffer hit its cap.
   std::int64_t dropped_events() const;
@@ -182,6 +198,7 @@ void begin_slow(const char* name, const TraceArgs* args, bool* live,
 void end_slow(int track);
 void instant_slow(const char* name, const TraceArgs* args);
 void counter_slow(const char* name, double value);
+void flow_slow(char ph, const char* name, std::int64_t id);
 }  // namespace detail
 
 /// RAII span on the calling thread's bound track. When tracing is off or
@@ -225,6 +242,32 @@ void trace_instant(const char* name, ArgsFn&& args_fn) {
 }
 inline void trace_counter(const char* name, double value) {
   if (Tracer::active()) detail::counter_slow(name, value);
+}
+
+/// Causal flow pair on the calling threads' bound tracks: the sender emits
+/// trace_flow_start just after handing a message off, the receiver emits
+/// trace_flow_finish with the SAME name and id just after reading it.
+/// Perfetto renders the pair as an arrow between the enclosing slices;
+/// tools/check_trace.py validates that every id pairs exactly one start
+/// with one finish at a non-earlier timestamp.
+inline void trace_flow_start(const char* name, std::int64_t id) {
+  if (Tracer::active()) detail::flow_slow('s', name, id);
+}
+inline void trace_flow_finish(const char* name, std::int64_t id) {
+  if (Tracer::active()) detail::flow_slow('f', name, id);
+}
+
+/// Stable flow-binding id for one message of one query: `node` is the
+/// scenario node the message targets/originates at (worker index + 1) and
+/// `dir` is 0 for the master→worker request, 1 for the worker→master
+/// reply. 512 nodes per query is far above any scenario's fan-out. The
+/// tracer's current epoch occupies the high bits: qids restart at 1 on
+/// every scenario run, so without it the cells of one sweep writing into
+/// one trace would reuse ids and check_trace.py's exactly-one-start /
+/// exactly-one-finish invariant could not hold.
+inline std::int64_t flow_id(std::int64_t qid, int node, int dir) {
+  const std::int64_t epoch = Tracer::instance().current_epoch();
+  return (epoch << 40) | ((qid * 512 + node) * 2 + dir);
 }
 
 /// Track id the calling thread is bound to, or -1.

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace teamnet::sim::des {
@@ -180,7 +181,7 @@ void Engine::pump_locked() {
     Event event = events_.pop();
     Mailbox& mb = *event.mailbox;
     --mb.pending_events_;
-    mb.queue_.push_back({event.key.time, std::move(event.bytes)});
+    mb.queue_.push_back({event.key.time, std::move(event.bytes), event.sent});
     fired = true;
   }
   // Firing never changes a running node's clock, so `horizon` stays valid
@@ -270,6 +271,15 @@ std::string Engine::pop_locked(int node, Mailbox& mb) {
   slot.time = std::max(slot.time, delivery.arrival);
   bytes_ += static_cast<std::int64_t>(delivery.bytes.size());
   ++messages_;
+  // Realized transit on the receiver's clock, Lamport wait included — the
+  // same definition SimChannel::unstamp reports, and the same edges, so
+  // both schedulers feed one "net.transit_ms". The handle is cached after
+  // the first lookup; observe() is lock-free atomics, safe under mutex_
+  // (the registry mutex is a leaf, same nesting the tracer uses here).
+  static obs::Histogram& transit_ms =
+      obs::MetricsRegistry::instance().histogram(
+          "net.transit_ms", {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1e3});
+  transit_ms.observe(1e3 * (slot.time - delivery.sent));
   record_locked('P', node, delivery.arrival, delivery.bytes.size());
   // The receiver's clock may have jumped forward, raising the pump horizon.
   pump_locked();
@@ -356,7 +366,7 @@ void Engine::send(int from, const std::shared_ptr<Mailbox>& to,
             .arg("bytes", static_cast<std::int64_t>(bytes.size())));
   }
   events_.push(Event{EventKey{arrival, to->owner(), next_seq_++}, to,
-                     std::move(bytes)});
+                     std::move(bytes), send_time});
   pump_locked();
   cv_.notify_all();
 }

@@ -81,6 +81,7 @@ struct Event {
   EventKey key;
   std::shared_ptr<Mailbox> mailbox;
   std::string bytes;
+  double sent = 0.0;  ///< sender's clock when the message left
 };
 
 /// Min-heap of events keyed by EventKey. Exposed (rather than buried in
@@ -111,6 +112,7 @@ class Mailbox {
   struct Delivery {
     double arrival = 0.0;
     std::string bytes;
+    double sent = 0.0;  ///< sender's clock when the message left
   };
 
   const int owner_;

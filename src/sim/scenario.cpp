@@ -92,6 +92,7 @@ ScenarioResult run_teamnet_heterogeneous(
         *experts[static_cast<std::size_t>(i)], net->channel(i, 0)));
     workers.back()->set_compute_hook(
         make_hook(*net, i, devices[static_cast<std::size_t>(i)], nullptr));
+    workers.back()->set_trace_node(i);
     threads.push_back(
         spawn_worker(*net, i, [w = workers.back().get()] { w->serve(); }));
   }
@@ -102,6 +103,11 @@ ScenarioResult run_teamnet_heterogeneous(
   }
   net::CollaborativeMaster master(*experts[0], worker_channels);
   master.set_compute_hook(make_hook(*net, 0, devices[0], &master_compute));
+  // Fault-free path: every flow this master opens is closed by a worker
+  // and vice versa, so traced runs pass the no-dangling-flow check. The
+  // chaos/resilience runners stay un-instrumented — a dropped request
+  // would leave a by-design dangling arrow the validator cannot excuse.
+  master.set_flow_trace(true);
 
   SimNet* netp = net.get();
   obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");
@@ -630,6 +636,7 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
         model.expert(i), net->channel(i, 0)));
     workers.back()->set_compute_hook(
         make_hook(*net, i, config.device, nullptr));
+    workers.back()->set_trace_node(i);
     threads.push_back(
         spawn_worker(*net, i, [w = workers.back().get()] { w->serve(); }));
   }
@@ -640,6 +647,7 @@ ScenarioResult run_sg_moe(moe::SgMoe& model, const data::Dataset& test,
   }
   moe::MoeMaster master(model, worker_channels);
   master.set_compute_hook(make_hook(*net, 0, config.device, &master_compute));
+  master.set_flow_trace(true);  // fault-free: flows always pair (see above)
 
   SimNet* netp = net.get();
   obs::TraceTrack track(0, [netp] { return netp->node_time(0); }, "master");

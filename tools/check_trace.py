@@ -12,7 +12,19 @@ tracer writes, so CI can gate on them after a real bench run:
     under the simulator, the steady clock on real TCP);
   * duration events are balanced: on each track, every 'E' closes an
     earlier 'B' and no 'B' is left open at end of trace;
-  * instant ('i') events carry a scope ("s").
+  * instant ('i') events carry a scope ("s");
+  * flow events pair: every 's' (flow start) carries "cat" and an integer
+    "id", is finished by exactly one 'f' with the same (cat, name, id), no
+    flow dangles at end of trace, and the finish timestamp is not before
+    the start (pairing is order-independent — the file may be grouped per
+    track, not globally time-sorted);
+  * per-query timeline marks ("qtl" instants with args qid/lane/seq/mark
+    and a "run" scenario-epoch tag) are ordered: within one (run, qid,
+    lane) no seq repeats and timestamps are non-decreasing when walked in
+    seq order — lane -1 is the master's phase sequence, lane w >= 0 is
+    worker w's mark sequence, both stamped by Lamport-consistent clocks
+    under the simulator. Sequential runs in one trace each restart qid at
+    1; the run tag keeps their lanes distinct.
 
 Usage:
   tools/check_trace.py TRACE.json [TRACE2.json ...]
@@ -37,6 +49,12 @@ def validate(doc: object, label: str = "trace") -> list[str]:
 
     last_ts: dict[tuple[int, int], float] = {}
     open_spans: dict[tuple[int, int], int] = {}
+    # (cat, name, id) -> {"s": [(index, ts)], "f": [(index, ts)]}; pairing
+    # is resolved after the scan because the start and finish live on
+    # different tracks and the file is not globally time-sorted.
+    flows: dict[tuple[str, str, int], dict[str, list[tuple[int, float]]]] = {}
+    # (run, qid, lane) -> [(seq, ts, index)]
+    qtl: dict[tuple[int, int, int], list[tuple[int, float, int]]] = {}
     for i, event in enumerate(doc["traceEvents"]):
         where = f"{label}: event {i}"
         if not isinstance(event, dict):
@@ -80,12 +98,74 @@ def validate(doc: object, label: str = "trace") -> list[str]:
         elif ph == "i":
             if "s" not in event:
                 errors.append(f"{where}: instant event missing scope \"s\"")
+            if event.get("name") == "qtl":
+                qtl_args = event.get("args")
+                if not isinstance(qtl_args, dict) or not all(
+                        isinstance(qtl_args.get(k, 0), int)
+                        and not isinstance(qtl_args.get(k, 0), bool)
+                        for k in ("run", "qid", "lane", "seq")) or not all(
+                        k in qtl_args for k in ("qid", "lane", "seq")):
+                    errors.append(
+                        f"{where}: \"qtl\" instant needs integer args "
+                        f"qid/lane/seq (and integer \"run\" if present)")
+                else:
+                    qtl.setdefault(
+                        (qtl_args.get("run", 0), qtl_args["qid"],
+                         qtl_args["lane"]), []).append(
+                            (qtl_args["seq"], ts, i))
+        elif ph in ("s", "f"):
+            cat = event.get("cat")
+            fid = event.get("id")
+            name = event.get("name")
+            if not isinstance(cat, str) or not isinstance(name, str) \
+                    or not isinstance(fid, int) or isinstance(fid, bool):
+                errors.append(
+                    f"{where}: flow '{ph}' needs string \"cat\"/\"name\" "
+                    f"and an integer \"id\"")
+                continue
+            flows.setdefault((cat, name, fid), {"s": [], "f": []})[ph].append(
+                (i, ts))
 
     for (pid, tid), depth in sorted(open_spans.items()):
         if depth > 0:
             errors.append(
                 f"{label}: {depth} unclosed 'B' event(s) on track "
                 f"pid={pid} tid={tid} at end of trace")
+
+    for (cat, name, fid), ends in sorted(flows.items()):
+        who = f"{label}: flow cat={cat} name={name} id={fid}"
+        starts, finishes = ends["s"], ends["f"]
+        if len(starts) > 1:
+            errors.append(f"{who}: {len(starts)} 's' events (flow ids must "
+                          f"be unique per start)")
+        if len(finishes) > 1:
+            errors.append(f"{who}: {len(finishes)} 'f' events")
+        if starts and not finishes:
+            errors.append(f"{who}: started (event {starts[0][0]}) but never "
+                          f"finished — dangling flow arrow")
+        elif finishes and not starts:
+            errors.append(f"{who}: finished (event {finishes[0][0]}) but "
+                          f"never started")
+        elif starts and finishes and finishes[0][1] < starts[0][1]:
+            errors.append(
+                f"{who}: finish ts {finishes[0][1]} precedes start ts "
+                f"{starts[0][1]} — delivery cannot outrun the send under "
+                f"Lamport-consistent clocks")
+
+    for (run, qid, lane), marks in sorted(qtl.items()):
+        who = f"{label}: qtl run={run} qid={qid} lane={lane}"
+        marks.sort()
+        for (seq_a, ts_a, idx_a), (seq_b, ts_b, idx_b) in zip(marks,
+                                                              marks[1:]):
+            if seq_b == seq_a:
+                errors.append(f"{who}: duplicate seq {seq_a} (events "
+                              f"{idx_a} and {idx_b}) — each phase mark is "
+                              f"recorded once per query")
+            elif ts_b < ts_a:
+                errors.append(
+                    f"{who}: ts {ts_b} at seq {seq_b} (event {idx_b}) "
+                    f"precedes ts {ts_a} at seq {seq_a} — marks on a lane "
+                    f"must be time-ordered by sequence")
     return errors
 
 
@@ -114,6 +194,26 @@ def self_test() -> int:
         {"ph": "C", "pid": 0, "tid": 1, "ts": 5, "name": "tx_bytes",
          "args": {"value": 128}},
         {"ph": "E", "pid": 0, "tid": 0, "ts": 30},
+        # A request flow master->worker and its reply flow back, plus the
+        # qtl phase marks both sides record — the shape a flow-enabled
+        # TeamNet trace has (note the reply 'f' appears BEFORE its 's' in
+        # file order; pairing must not depend on ordering).
+        {"ph": "s", "pid": 0, "tid": 0, "ts": 31, "name": "infer",
+         "cat": "flow", "id": 1026},
+        {"ph": "i", "pid": 0, "tid": 0, "ts": 31, "name": "qtl", "s": "t",
+         "args": {"qid": 1, "lane": 1, "seq": 0, "mark": "sent"}},
+        {"ph": "f", "pid": 0, "tid": 0, "ts": 40, "name": "result",
+         "cat": "flow", "id": 1027, "bp": "e"},
+        {"ph": "i", "pid": 0, "tid": 0, "ts": 40, "name": "qtl", "s": "t",
+         "args": {"qid": 1, "lane": 1, "seq": 5, "mark": "reply_recv"}},
+        {"ph": "f", "pid": 0, "tid": 1, "ts": 33, "name": "infer",
+         "cat": "flow", "id": 1026, "bp": "e"},
+        {"ph": "i", "pid": 0, "tid": 1, "ts": 33, "name": "qtl", "s": "t",
+         "args": {"qid": 1, "lane": 1, "seq": 1, "mark": "request_recv"}},
+        {"ph": "s", "pid": 0, "tid": 1, "ts": 38, "name": "result",
+         "cat": "flow", "id": 1027},
+        {"ph": "i", "pid": 0, "tid": 1, "ts": 38, "name": "qtl", "s": "t",
+         "args": {"qid": 1, "lane": 1, "seq": 4, "mark": "reply_sent"}},
     ]}
     cases = [
         ("valid document", good, 0),
@@ -152,6 +252,78 @@ def self_test() -> int:
                            "name": "x"}]}, 1),
         ("metadata events need no ts", {"traceEvents": [
             {"ph": "M", "name": "process_name", "pid": 0, "tid": 0}]}, 0),
+        ("dangling flow (s never finished)",
+         {"traceEvents": [
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 1, "name": "infer",
+              "cat": "flow", "id": 7}]}, 1),
+        ("flow finish without a start",
+         {"traceEvents": [
+             {"ph": "f", "pid": 0, "tid": 1, "ts": 2, "name": "infer",
+              "cat": "flow", "id": 7, "bp": "e"}]}, 1),
+        ("flow finish before its start",
+         {"traceEvents": [
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 5, "name": "infer",
+              "cat": "flow", "id": 7},
+             {"ph": "f", "pid": 0, "tid": 1, "ts": 3, "name": "infer",
+              "cat": "flow", "id": 7, "bp": "e"}]}, 1),
+        ("flow missing id",
+         {"traceEvents": [
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 1, "name": "infer",
+              "cat": "flow"}]}, 1),
+        ("duplicate flow start on one id",
+         {"traceEvents": [
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 1, "name": "infer",
+              "cat": "flow", "id": 7},
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 2, "name": "infer",
+              "cat": "flow", "id": 7},
+             {"ph": "f", "pid": 0, "tid": 1, "ts": 3, "name": "infer",
+              "cat": "flow", "id": 7, "bp": "e"}]}, 1),
+        ("same id under different names stays distinct",
+         {"traceEvents": [
+             {"ph": "s", "pid": 0, "tid": 0, "ts": 1, "name": "infer",
+              "cat": "flow", "id": 7},
+             {"ph": "f", "pid": 0, "tid": 1, "ts": 2, "name": "infer",
+              "cat": "flow", "id": 7, "bp": "e"},
+             {"ph": "s", "pid": 0, "tid": 1, "ts": 3, "name": "result",
+              "cat": "flow", "id": 7},
+             {"ph": "f", "pid": 0, "tid": 0, "ts": 4, "name": "result",
+              "cat": "flow", "id": 7, "bp": "e"}]}, 0),
+        ("qtl instant missing args",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 1, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": -1}}]}, 1),
+        ("qtl duplicate seq on one lane",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 1, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": -1, "seq": 2,
+                                 "mark": "broadcast_end"}},
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 2, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": -1, "seq": 2,
+                                 "mark": "broadcast_end"}}]}, 1),
+        ("qtl timestamp regresses against seq order",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 1, "ts": 9, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": 1, "seq": 1,
+                                 "mark": "request_recv"}},
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 4, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": 1, "seq": 3,
+                                 "mark": "reply_recv"}}]}, 1),
+        ("qtl lanes reset across runs (scenario epochs)",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 9, "name": "qtl",
+              "s": "t", "args": {"run": 0, "qid": 1, "lane": -1, "seq": 5,
+                                 "mark": "complete"}},
+             {"ph": "i", "pid": 1, "tid": 0, "ts": 2, "name": "qtl",
+              "s": "t", "args": {"run": 1, "qid": 1, "lane": -1, "seq": 5,
+                                 "mark": "complete"}}]}, 0),
+        ("qtl lanes are independent",
+         {"traceEvents": [
+             {"ph": "i", "pid": 0, "tid": 0, "ts": 9, "name": "qtl",
+              "s": "t", "args": {"qid": 1, "lane": 1, "seq": 1,
+                                 "mark": "request_recv"}},
+             {"ph": "i", "pid": 0, "tid": 1, "ts": 4, "name": "qtl",
+              "s": "t", "args": {"qid": 2, "lane": 1, "seq": 3,
+                                 "mark": "reply_recv"}}]}, 0),
     ]
     failures = 0
     for name, doc, want_errors in cases:
